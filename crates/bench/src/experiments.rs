@@ -1,0 +1,138 @@
+//! The §2 reverse-engineering experiments, shared by the `repro_fig2` /
+//! `repro_fig4` binaries and the criterion benches.
+
+use nv_isa::{Assembler, Program, Reg, VirtAddr};
+use nv_uarch::{Core, Machine, RunExit, UarchConfig};
+
+/// Base of the F1 region (the jump under observation).
+pub const B1: u64 = 0x40_0000;
+/// Base of the aliasing F2 region: 8 GiB away (low 33 bits equal).
+pub const B2: u64 = B1 + (1 << 33);
+/// Non-aliasing driver region.
+const DRIVER: u64 = 0x10_0000;
+
+fn experiment1_program(f1_off: u64, f2_off: u64, l2_off: u64) -> Program {
+    assert!(f1_off + 2 <= l2_off, "paper constraint: F1 <= L2 - 2");
+    let mut asm = Assembler::new(VirtAddr::new(DRIVER));
+    asm.label("drv1");
+    asm.call("F1");
+    asm.syscall(1);
+    asm.label("drv2");
+    asm.mov_label(Reg::R9, "F2");
+    asm.call_ind(Reg::R9);
+    asm.syscall(2);
+    asm.label("drv3");
+    asm.call("F1");
+    asm.syscall(3);
+
+    asm.org(VirtAddr::new(B1 + f1_off)).unwrap();
+    asm.label("F1");
+    asm.jmp8("L1");
+    asm.pad_to(VirtAddr::new(B1 + f1_off + 8));
+    asm.label("L1");
+    asm.ret();
+
+    asm.org(VirtAddr::new(B2 + f2_off)).unwrap();
+    asm.label("F2");
+    asm.pad_to(VirtAddr::new(B2 + l2_off));
+    asm.label("L2");
+    asm.ret();
+    asm.finish().expect("experiment 1 assembles")
+}
+
+/// One Experiment 1 measurement (Figure 1/2 of the paper): the
+/// elapsed-cycles field of the LBR record for the `ret` after the second
+/// execution of `jmp L1`. `call_f2` selects the orange (true) or blue
+/// (false, baseline) line.
+pub fn experiment1_elapsed(f1_off: u64, f2_off: u64, l2_off: u64, call_f2: bool) -> u64 {
+    let program = experiment1_program(f1_off, f2_off, l2_off);
+    let drv1 = program.symbol("drv1").unwrap();
+    let drv2 = program.symbol("drv2").unwrap();
+    let drv3 = program.symbol("drv3").unwrap();
+    let l1 = program.symbol("L1").unwrap();
+    let mut machine = Machine::new(program);
+    let mut core = Core::new(UarchConfig::default());
+
+    core.btb_mut().flush();
+    machine.state_mut().set_pc(drv1);
+    core.reset_frontend();
+    assert_eq!(core.run(&mut machine, 100), RunExit::Syscall(1));
+    if call_f2 {
+        machine.state_mut().set_pc(drv2);
+        core.reset_frontend();
+        assert_eq!(core.run(&mut machine, 100), RunExit::Syscall(2));
+    }
+    core.lbr_mut().clear();
+    machine.state_mut().set_pc(drv3);
+    core.reset_frontend();
+    assert_eq!(core.run(&mut machine, 100), RunExit::Syscall(3));
+    core.lbr().find_from(l1).expect("ret recorded").elapsed
+}
+
+fn experiment2_program(f1_off: u64, f2_off: u64) -> Program {
+    assert!(f1_off <= 0x1e && f2_off <= 0x1c);
+    let mut asm = Assembler::new(VirtAddr::new(DRIVER));
+    asm.label("drv_j1");
+    asm.call("J1");
+    asm.syscall(1);
+    asm.label("drv_f2");
+    asm.mov_label(Reg::R9, "F2");
+    asm.call_ind(Reg::R9);
+    asm.syscall(2);
+    asm.label("drv_f1");
+    asm.call("F1");
+    asm.syscall(3);
+
+    asm.org(VirtAddr::new(B1 + f1_off)).unwrap();
+    asm.label("F1");
+    asm.pad_to(VirtAddr::new(B1 + 0x1e));
+    asm.label("J1");
+    asm.jmp8("L1");
+    asm.label("L1");
+    asm.ret();
+
+    asm.org(VirtAddr::new(B2 + f2_off)).unwrap();
+    asm.label("F2");
+    asm.jmp8("L2");
+    asm.pad_to(VirtAddr::new(B2 + 0x20));
+    asm.label("L2");
+    asm.ret();
+    asm.finish().expect("experiment 2 assembles")
+}
+
+/// One Experiment 2 measurement (Figure 3/4): elapsed cycles between the
+/// retirement of the call to F1 and the return after `jmp L1`.
+pub fn experiment2_elapsed(f1_off: u64, f2_off: u64, call_f2: bool) -> u64 {
+    let program = experiment2_program(f1_off, f2_off);
+    let drv_j1 = program.symbol("drv_j1").unwrap();
+    let drv_f2 = program.symbol("drv_f2").unwrap();
+    let drv_f1 = program.symbol("drv_f1").unwrap();
+    let l1 = program.symbol("L1").unwrap();
+    let mut machine = Machine::new(program);
+    let mut core = Core::new(UarchConfig::default());
+
+    core.btb_mut().flush();
+    machine.state_mut().set_pc(drv_j1);
+    core.reset_frontend();
+    assert_eq!(core.run(&mut machine, 100), RunExit::Syscall(1));
+    if call_f2 {
+        machine.state_mut().set_pc(drv_f2);
+        core.reset_frontend();
+        assert_eq!(core.run(&mut machine, 100), RunExit::Syscall(2));
+    }
+    core.lbr_mut().clear();
+    machine.state_mut().set_pc(drv_f1);
+    core.reset_frontend();
+    assert_eq!(core.run(&mut machine, 100), RunExit::Syscall(3));
+
+    let records: Vec<_> = core.lbr().iter().collect();
+    let call_idx = records
+        .iter()
+        .position(|r| r.from == drv_f1)
+        .expect("call recorded");
+    let ret_idx = records
+        .iter()
+        .position(|r| r.from == l1)
+        .expect("ret recorded");
+    records[call_idx + 1..=ret_idx].iter().map(|r| r.elapsed).sum()
+}

@@ -1,0 +1,110 @@
+//! Error type for the attack framework.
+
+use std::error::Error;
+use std::fmt;
+
+use nv_isa::{IsaError, VirtAddr};
+
+/// Errors raised while building or running NightVision attacks.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum AttackError {
+    /// A prediction window narrower than the 2-byte minimum snippet
+    /// (`jmp rel8` is the shortest control transfer, §5.2).
+    PwTooNarrow {
+        /// Requested start.
+        start: VirtAddr,
+        /// Requested end.
+        end: VirtAddr,
+    },
+    /// A chain of prediction windows overlaps after aliasing, so their
+    /// snippets cannot coexist in the attacker's address space.
+    OverlappingPws {
+        /// Start of the second of the two clashing windows.
+        at: VirtAddr,
+    },
+    /// Underlying assembly of an attack snippet failed.
+    Snippet(IsaError),
+    /// The probe run did not complete (victim wedged the attacker, or the
+    /// step budget was exhausted).
+    ProbeFailed,
+    /// The rig was probed before [`crate::AttackerRig::calibrate`].
+    NotCalibrated,
+    /// A chain of this many windows produces more LBR records than the
+    /// hardware keeps (32): the earliest measurements would be evicted
+    /// before the attacker can read them.
+    ChainExceedsLbr {
+        /// Requested window count.
+        windows: usize,
+        /// Maximum measurable per probe pass.
+        max: usize,
+    },
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackError::PwTooNarrow { start, end } => {
+                write!(f, "prediction window [{start}, {end}) is narrower than 2 bytes")
+            }
+            AttackError::OverlappingPws { at } => {
+                write!(f, "prediction windows overlap at {at}")
+            }
+            AttackError::Snippet(err) => write!(f, "attack snippet assembly failed: {err}"),
+            AttackError::ProbeFailed => write!(f, "probe run did not reach its checkpoint"),
+            AttackError::NotCalibrated => {
+                write!(f, "attacker rig must be calibrated before probing")
+            }
+            AttackError::ChainExceedsLbr { windows, max } => write!(
+                f,
+                "a {windows}-window chain overflows the 32-entry LBR (max {max} windows per probe)"
+            ),
+        }
+    }
+}
+
+impl Error for AttackError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AttackError::Snippet(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<IsaError> for AttackError {
+    fn from(err: IsaError) -> Self {
+        AttackError::Snippet(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let samples = [
+            AttackError::PwTooNarrow {
+                start: VirtAddr::new(0x10),
+                end: VirtAddr::new(0x11),
+            },
+            AttackError::OverlappingPws {
+                at: VirtAddr::new(0x20),
+            },
+            AttackError::Snippet(IsaError::BadOpcode(0xff)),
+            AttackError::ProbeFailed,
+            AttackError::NotCalibrated,
+            AttackError::ChainExceedsLbr { windows: 32, max: 16 },
+        ];
+        for err in samples {
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn snippet_errors_chain_their_source() {
+        let err = AttackError::from(IsaError::BadOpcode(1));
+        assert!(Error::source(&err).is_some());
+    }
+}

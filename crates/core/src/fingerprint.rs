@@ -1,0 +1,182 @@
+//! Function fingerprinting by static/dynamic PC-set intersection (§6.4,
+//! step 2).
+//!
+//! A victim function-level trace (a set `S` of position-independent
+//! dynamic PC offsets) is matched against reference functions (sets `S*`
+//! of static PC offsets) by
+//!
+//! ```text
+//! similarity = |S ∩ S*| / |S|
+//! ```
+//!
+//! Variable-length encodings make the offset sets high-entropy, so the
+//! correct reference ranks far above 175 k unrelated functions (Fig. 12)
+//! — while never reaching 100 % because macro-fused pairs and
+//! speculation-induced mismeasurements pollute `S` (§7.3).
+
+use std::collections::BTreeSet;
+
+/// A known function the attacker prepared offline (§6.4: "collect the
+/// static PCs in that function, relative to the entry PC").
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ReferenceFunction {
+    name: String,
+    offsets: BTreeSet<u64>,
+}
+
+impl ReferenceFunction {
+    /// Creates a reference from its name and static PC offsets.
+    pub fn new(name: impl Into<String>, offsets: impl IntoIterator<Item = u64>) -> Self {
+        ReferenceFunction {
+            name: name.into(),
+            offsets: offsets.into_iter().collect(),
+        }
+    }
+
+    /// The reference's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The static offset set `S*`.
+    pub fn offsets(&self) -> &BTreeSet<u64> {
+        &self.offsets
+    }
+}
+
+/// `|S ∩ S*| / |S|` — the §6.4 similarity. Empty victim sets score zero.
+///
+/// # Examples
+///
+/// ```
+/// use nightvision::fingerprint::similarity;
+/// use std::collections::BTreeSet;
+///
+/// let victim: BTreeSet<u64> = [0, 1, 4, 11].into_iter().collect();
+/// let reference: BTreeSet<u64> = [0, 1, 4, 8, 11, 16].into_iter().collect();
+/// assert_eq!(similarity(&victim, &reference), 1.0);
+///
+/// let unrelated: BTreeSet<u64> = [0, 2, 5].into_iter().collect();
+/// assert!(similarity(&victim, &unrelated) < 0.5);
+/// ```
+pub fn similarity(victim: &BTreeSet<u64>, reference: &BTreeSet<u64>) -> f64 {
+    if victim.is_empty() {
+        return 0.0;
+    }
+    let shared = victim.intersection(reference).count();
+    shared as f64 / victim.len() as f64
+}
+
+/// A ranked match result.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Match {
+    /// Name of the reference function.
+    pub name: String,
+    /// Similarity score in `[0, 1]`.
+    pub score: f64,
+}
+
+/// Matches victim traces against a set of reference functions.
+#[derive(Clone, Debug, Default)]
+pub struct Fingerprinter {
+    references: Vec<ReferenceFunction>,
+}
+
+impl Fingerprinter {
+    /// Creates an empty fingerprinter.
+    pub fn new() -> Self {
+        Fingerprinter::default()
+    }
+
+    /// Registers a reference function.
+    pub fn add_reference(&mut self, reference: ReferenceFunction) -> &mut Self {
+        self.references.push(reference);
+        self
+    }
+
+    /// The registered references.
+    pub fn references(&self) -> &[ReferenceFunction] {
+        &self.references
+    }
+
+    /// Scores `victim` against every reference, best first (ties broken by
+    /// name for determinism).
+    pub fn rank(&self, victim: &BTreeSet<u64>) -> Vec<Match> {
+        let mut matches: Vec<Match> = self
+            .references
+            .iter()
+            .map(|r| Match {
+                name: r.name.clone(),
+                score: similarity(victim, &r.offsets),
+            })
+            .collect();
+        matches.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .expect("scores are finite")
+                .then_with(|| a.name.cmp(&b.name))
+        });
+        matches
+    }
+
+    /// The single best match, if any reference is registered.
+    pub fn best_match(&self, victim: &BTreeSet<u64>) -> Option<Match> {
+        self.rank(victim).into_iter().next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(items: &[u64]) -> BTreeSet<u64> {
+        items.iter().copied().collect()
+    }
+
+    #[test]
+    fn similarity_bounds() {
+        let s = set(&[0, 3, 7]);
+        assert_eq!(similarity(&s, &s), 1.0);
+        assert_eq!(similarity(&s, &set(&[])), 0.0);
+        assert_eq!(similarity(&set(&[]), &s), 0.0);
+        let half = similarity(&set(&[0, 3]), &set(&[0, 99]));
+        assert_eq!(half, 0.5);
+    }
+
+    #[test]
+    fn denominator_is_the_victim_set() {
+        // A superset reference still scores 1.0; a subset does not.
+        let victim = set(&[0, 4, 8]);
+        assert_eq!(similarity(&victim, &set(&[0, 4, 8, 12, 16])), 1.0);
+        assert!(similarity(&set(&[0, 4, 8, 12, 16]), &victim) < 1.0);
+    }
+
+    #[test]
+    fn ranking_puts_the_true_function_first() {
+        let mut fp = Fingerprinter::new();
+        fp.add_reference(ReferenceFunction::new("gcd", [0u64, 7, 11, 13, 17, 20]));
+        fp.add_reference(ReferenceFunction::new("aes", [0u64, 3, 6, 9, 12]));
+        fp.add_reference(ReferenceFunction::new("sha", [0u64, 10, 20, 30]));
+        // A trace of gcd with one mismeasured offset.
+        let victim = set(&[0, 7, 11, 13, 14]);
+        let ranked = fp.rank(&victim);
+        assert_eq!(ranked[0].name, "gcd");
+        assert!(ranked[0].score > ranked[1].score);
+        assert_eq!(ranked.len(), 3);
+        assert_eq!(fp.best_match(&victim).unwrap().name, "gcd");
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        let mut fp = Fingerprinter::new();
+        fp.add_reference(ReferenceFunction::new("b", [0u64]));
+        fp.add_reference(ReferenceFunction::new("a", [0u64]));
+        let ranked = fp.rank(&set(&[0]));
+        assert_eq!(ranked[0].name, "a");
+    }
+
+    #[test]
+    fn empty_fingerprinter_has_no_best() {
+        assert!(Fingerprinter::new().best_match(&set(&[0])).is_none());
+    }
+}

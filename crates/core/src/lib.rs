@@ -1,0 +1,49 @@
+//! # nightvision — the attack framework (the paper's core contribution)
+//!
+//! NightVision extracts *byte-granular dynamic PCs* from a co-located
+//! victim through two previously unexploited BTB behaviours (§2): false-hit
+//! deallocation by non-control-transfer instructions, and prediction-window
+//! range-query lookup semantics.
+//!
+//! The crate is organized exactly like the paper's attack stack (§3–§6):
+//!
+//! * [`PwSpec`]/[`AttackerRig`] — prediction-window snippets (nops + a
+//!   2-byte jump) placed 8 GiB from the victim so they alias in the BTB,
+//!   with LBR-based probe measurement;
+//! * [`NvCore`] — the Prime+Probe primitive of §4.1: determine whether a
+//!   victim execution fragment overlapped attacker-chosen address ranges;
+//! * [`NvUser`] — the user-level control-flow-leakage attack of §5,
+//!   defeating branch balancing, `-falign-jumps=16` and CFR;
+//! * [`NvSupervisor`] — the supervisor-level full PC-trace extraction of
+//!   §6.3: SGX-style single-stepping, controlled-channel page numbers, and
+//!   binary-search PW traversal down to byte granularity;
+//! * [`trace`] — PC-trace slicing at call/ret boundaries and
+//!   normalization (§6.4 step 1);
+//! * [`fingerprint`] — set-intersection function fingerprinting (§6.4
+//!   step 2);
+//! * [`seq_fingerprint`] — the order-aware, DNA-alignment-style variant
+//!   the paper sketches as future work (§8.3);
+//! * [`baselines`] — prior-attack stand-ins (instruction counting à la
+//!   CopyCat, branch-PC probing à la BranchShadowing) used to show that
+//!   the defenses which stop *them* do not stop NightVision.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+mod error;
+pub mod fingerprint;
+pub mod seq_fingerprint;
+mod nv_core;
+mod nv_supervisor;
+mod nv_user;
+mod pw;
+mod rig;
+pub mod trace;
+
+pub use error::AttackError;
+pub use nv_core::NvCore;
+pub use nv_supervisor::{ExtractedTrace, NvSupervisor, StepMeasurement, SupervisorConfig};
+pub use nv_user::{NoiseModel, NvUser, SliceReading};
+pub use pw::{PwSpec, DEFAULT_ALIAS_DISTANCE};
+pub use rig::AttackerRig;

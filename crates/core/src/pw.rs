@@ -1,0 +1,211 @@
+//! Prediction-window specifications.
+
+use std::fmt;
+
+use nv_isa::{VirtAddr, BLOCK_BYTES};
+
+use crate::error::AttackError;
+
+/// Default aliasing distance: 8 GiB, matching the 33-bit BTB tag cutoff of
+/// SkyLake- through CascadeLake-class parts (16 GiB for IceLake).
+pub const DEFAULT_ALIAS_DISTANCE: u64 = 1 << 33;
+
+/// A monitored victim address range `[start, end)`.
+///
+/// The attacker realizes a `PwSpec` as a code snippet at
+/// `start + alias_distance`: nops filling the range and a direct jump whose
+/// **last byte sits at `end - 1`** — that byte is where the BTB entry
+/// lands, and therefore the "signal byte" of the measurement:
+///
+/// * a victim instruction fetch at `pc ≤ end - 1` whose execution covers
+///   `end - 1` deallocates the entry (Fig. 5 cases 3/4);
+/// * a victim taken branch whose entry lands inside `[start, end)` steals
+///   the prediction and is caught during the probe (cases 1/2).
+///
+/// # Examples
+///
+/// ```
+/// use nightvision::PwSpec;
+/// use nv_isa::VirtAddr;
+///
+/// let pw = PwSpec::new(VirtAddr::new(0x40_5980), 16)?;
+/// assert!(pw.covers(VirtAddr::new(0x40_5985)));
+/// assert_eq!(pw.signal_byte(), VirtAddr::new(0x40_598f));
+/// # Ok::<(), nightvision::AttackError>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PwSpec {
+    start: VirtAddr,
+    end: VirtAddr,
+}
+
+impl PwSpec {
+    /// Creates a window monitoring `[start, start + len)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::PwTooNarrow`] if `len < 2` (the shortest
+    /// snippet is a 2-byte jump, §5.2).
+    pub fn new(start: VirtAddr, len: u64) -> Result<PwSpec, AttackError> {
+        let end = start.offset(len);
+        if len < 2 {
+            return Err(AttackError::PwTooNarrow { start, end });
+        }
+        Ok(PwSpec { start, end })
+    }
+
+    /// Creates a window from half-open bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::PwTooNarrow`] if the range holds fewer than
+    /// two bytes.
+    pub fn from_range(start: VirtAddr, end: VirtAddr) -> Result<PwSpec, AttackError> {
+        if end - start < 2 {
+            return Err(AttackError::PwTooNarrow { start, end });
+        }
+        Ok(PwSpec { start, end })
+    }
+
+    /// The 32-byte-aligned window containing `addr` — the pass-1 windows
+    /// of the NV-S traversal (Fig. 10).
+    pub fn block_of(addr: VirtAddr) -> PwSpec {
+        PwSpec {
+            start: addr.block_base(),
+            end: addr.block_base().offset(BLOCK_BYTES),
+        }
+    }
+
+    /// Start of the monitored range.
+    pub fn start(&self) -> VirtAddr {
+        self.start
+    }
+
+    /// First address past the monitored range.
+    pub fn end(&self) -> VirtAddr {
+        self.end
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> u64 {
+        (self.end - self.start) as u64
+    }
+
+    /// `false` — windows are at least two bytes by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The byte carrying the BTB entry (`end - 1`).
+    pub fn signal_byte(&self) -> VirtAddr {
+        self.end - 1u64
+    }
+
+    /// `true` if `addr` lies inside the monitored range.
+    pub fn covers(&self, addr: VirtAddr) -> bool {
+        addr.in_range(self.start, self.end)
+    }
+
+    /// `true` if this window overlaps `other`.
+    pub fn overlaps(&self, other: &PwSpec) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// Splits the window into `n` equal sub-windows (the recursive
+    /// traversal step of Fig. 10). Windows too narrow to split are
+    /// returned unchanged.
+    pub fn split(&self, n: u64) -> Vec<PwSpec> {
+        let len = self.len();
+        if n <= 1 || len / n < 2 {
+            return vec![*self];
+        }
+        let step = len / n;
+        (0..n)
+            .map(|i| {
+                let start = self.start.offset(i * step);
+                let end = if i == n - 1 {
+                    self.end
+                } else {
+                    start.offset(step)
+                };
+                PwSpec { start, end }
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for PwSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let pw = PwSpec::new(VirtAddr::new(0x100), 16).unwrap();
+        assert_eq!(pw.start(), VirtAddr::new(0x100));
+        assert_eq!(pw.end(), VirtAddr::new(0x110));
+        assert_eq!(pw.len(), 16);
+        assert_eq!(pw.signal_byte(), VirtAddr::new(0x10f));
+        assert!(pw.covers(VirtAddr::new(0x100)));
+        assert!(pw.covers(VirtAddr::new(0x10f)));
+        assert!(!pw.covers(VirtAddr::new(0x110)));
+    }
+
+    #[test]
+    fn too_narrow_rejected() {
+        assert!(matches!(
+            PwSpec::new(VirtAddr::new(0), 1),
+            Err(AttackError::PwTooNarrow { .. })
+        ));
+        assert!(PwSpec::new(VirtAddr::new(0), 2).is_ok());
+        assert!(matches!(
+            PwSpec::from_range(VirtAddr::new(4), VirtAddr::new(5)),
+            Err(AttackError::PwTooNarrow { .. })
+        ));
+    }
+
+    #[test]
+    fn block_of_is_aligned() {
+        let pw = PwSpec::block_of(VirtAddr::new(0x40_5991));
+        assert_eq!(pw.start(), VirtAddr::new(0x40_5980));
+        assert_eq!(pw.len(), 32);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = PwSpec::new(VirtAddr::new(0x100), 16).unwrap();
+        let b = PwSpec::new(VirtAddr::new(0x108), 16).unwrap();
+        let c = PwSpec::new(VirtAddr::new(0x110), 16).unwrap();
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    fn split_halves_and_remainders() {
+        let pw = PwSpec::new(VirtAddr::new(0x40_0000), 32).unwrap();
+        let halves = pw.split(2);
+        assert_eq!(halves.len(), 2);
+        assert_eq!(halves[0].len(), 16);
+        assert_eq!(halves[1].start(), VirtAddr::new(0x40_0010));
+        // Splitting a 2-byte window is a no-op.
+        let tiny = PwSpec::new(VirtAddr::new(0), 2).unwrap();
+        assert_eq!(tiny.split(2), vec![tiny]);
+        // Odd split keeps the remainder in the last window.
+        let odd = PwSpec::new(VirtAddr::new(0), 10).unwrap();
+        let parts = odd.split(3);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[2].end(), VirtAddr::new(10));
+    }
+
+    #[test]
+    fn display_format() {
+        let pw = PwSpec::new(VirtAddr::new(0x10), 2).unwrap();
+        assert_eq!(pw.to_string(), "[0x10, 0x12)");
+    }
+}

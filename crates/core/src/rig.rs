@@ -1,0 +1,461 @@
+//! The attacker rig: PW snippet code generation, prime, probe and
+//! LBR-based measurement.
+//!
+//! One rig owns one attacker program containing a *chain* of PW snippets
+//! (Fig. 7): each snippet fills its monitored range (aliased 8 GiB away)
+//! with nops and ends with a direct jump to the next snippet; the last
+//! jump lands on a `ret` back to the measurement harness. Priming executes
+//! the chain once (allocating one BTB entry per snippet jump); probing
+//! executes it again and reads, for every jump, the elapsed-cycles field
+//! of the *following* LBR record — the §2.3 measurement.
+
+use nv_isa::{Assembler, Program, VirtAddr};
+use nv_uarch::{Core, Machine, RunExit, LBR_DEPTH};
+
+use crate::error::AttackError;
+use crate::pw::{PwSpec, DEFAULT_ALIAS_DISTANCE};
+
+/// Syscall number the harness raises when a probe pass completes
+/// (`nv_os::syscalls::CHECKPOINT`).
+const CHECKPOINT: u8 = 2;
+
+/// Margin (cycles) above the calibrated baseline that counts as a
+/// misprediction. Half the default squash penalty keeps both false
+/// positives and false negatives at zero in a noise-free system.
+const MATCH_MARGIN: u64 = 4;
+
+/// A primed-and-probeable chain of PW snippets.
+///
+/// # Examples
+///
+/// Detecting whether a victim executed instructions inside a range:
+///
+/// ```
+/// use nightvision::{AttackerRig, PwSpec};
+/// use nv_isa::{Assembler, VirtAddr};
+/// use nv_uarch::{Core, Machine, UarchConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Victim: nops at 0x40_0100.
+/// let mut asm = Assembler::new(VirtAddr::new(0x40_0100));
+/// for _ in 0..8 { asm.nop(); }
+/// asm.halt();
+/// let mut victim = Machine::new(asm.finish()?);
+///
+/// let mut core = Core::new(UarchConfig::default());
+/// let pw = PwSpec::new(VirtAddr::new(0x40_0100), 8)?;
+/// let mut rig = AttackerRig::new(vec![pw])?;
+/// rig.calibrate(&mut core)?;
+///
+/// core.run(&mut victim, 100); // victim runs on the same core
+/// let matched = rig.probe(&mut core)?;
+/// assert_eq!(matched, vec![true]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct AttackerRig {
+    machine: Machine,
+    entry: VirtAddr,
+    jmp_addrs: Vec<VirtAddr>,
+    pws: Vec<PwSpec>,
+    baseline: Option<Vec<(u64, u64)>>,
+}
+
+impl AttackerRig {
+    /// Builds a rig monitoring `pws` with the default 8 GiB alias distance.
+    ///
+    /// # Errors
+    ///
+    /// See [`AttackerRig::with_alias_distance`].
+    pub fn new(pws: Vec<PwSpec>) -> Result<Self, AttackError> {
+        AttackerRig::with_alias_distance(pws, DEFAULT_ALIAS_DISTANCE)
+    }
+
+    /// Builds a rig whose snippets live `alias_distance` bytes above the
+    /// monitored ranges (8 GiB for 33-bit tag cutoffs, 16 GiB for
+    /// IceLake).
+    ///
+    /// # Errors
+    ///
+    /// * [`AttackError::OverlappingPws`] — monitored ranges overlap, so
+    ///   their snippets would collide;
+    /// * [`AttackError::ChainExceedsLbr`] — more windows than one LBR
+    ///   readout can measure (the paper's chains face the same 32-record
+    ///   budget);
+    /// * [`AttackError::Snippet`] — snippet assembly failed (e.g. a short
+    ///   window whose continuation jump cannot reach the next snippet).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pws` is empty.
+    pub fn with_alias_distance(
+        mut pws: Vec<PwSpec>,
+        alias_distance: u64,
+    ) -> Result<Self, AttackError> {
+        assert!(!pws.is_empty(), "a rig needs at least one window");
+        // Each window produces two LBR records per pass (its jump and its
+        // trampoline); the earliest must still be resident when the probe
+        // reads the LBR back.
+        let max_windows = LBR_DEPTH / 2;
+        if pws.len() > max_windows {
+            return Err(AttackError::ChainExceedsLbr {
+                windows: pws.len(),
+                max: max_windows,
+            });
+        }
+        pws.sort_by_key(PwSpec::start);
+        for pair in pws.windows(2) {
+            if pair[0].overlaps(&pair[1]) {
+                return Err(AttackError::OverlappingPws {
+                    at: pair[1].start(),
+                });
+            }
+        }
+
+        // Chains of several windows route through per-window trampolines
+        // in the (non-aliasing) harness area so that each window's two
+        // penalty signals land in *its own* pair of LBR records: the steal
+        // squash (false hit during the window's own fetch) delays the
+        // window's jump, and a deallocated entry's resteer delays the
+        // trampoline that follows it. Short (< 5 byte) windows use a
+        // 2-byte jump that cannot reach the harness; they are therefore
+        // only allowed in single-window rigs, where their continuation sits
+        // directly after the snippet (a `ret`, which allocates nothing).
+        let narrow = pws.iter().any(|pw| pw.len() < 5);
+        if narrow && pws.len() > 1 {
+            return Err(AttackError::OverlappingPws {
+                at: pws[1].start(),
+            });
+        }
+        let first_snippet = pws[0].start().offset(alias_distance);
+        let mut asm = Assembler::new(first_snippet);
+        let mut jmp_addrs = Vec::with_capacity(pws.len());
+        for (i, pw) in pws.iter().enumerate() {
+            let snippet_start = pw.start().offset(alias_distance);
+            let snippet_end = pw.end().offset(alias_distance);
+            asm.org(snippet_start).map_err(AttackError::Snippet)?;
+            asm.label(format!("pw{i}"));
+            // Fill with nops, then a jump whose last byte is end-1.
+            let jmp_len = if pw.len() >= 5 { 5 } else { 2 };
+            asm.pad_to(snippet_end - jmp_len);
+            let jmp_addr = if jmp_len == 5 {
+                asm.jmp32(&format!("tramp{i}"))
+            } else {
+                asm.jmp8("fin_local")
+            };
+            jmp_addrs.push(jmp_addr);
+        }
+        if narrow {
+            // Continuation directly after the single snippet.
+            asm.label("fin_local");
+            asm.ret();
+        }
+        // Harness, ~1 MiB past the snippets: far enough that victims of
+        // ordinary size cannot alias it. The extra 0x2000 shifts the
+        // harness by 256 BTB sets (bits 5..14), so the harness's own call
+        // and trampolines never contend with the monitored windows' sets —
+        // at low associativity such self-conflicts would drown the signal.
+        let harness = pws
+            .last()
+            .expect("nonempty")
+            .end()
+            .offset(alias_distance + 0x10_2000);
+        asm.org(harness).map_err(AttackError::Snippet)?;
+        let entry = asm.label("entry");
+        asm.entry_here();
+        asm.call("pw0");
+        asm.syscall(CHECKPOINT);
+        asm.halt();
+        if !narrow {
+            for i in 0..pws.len() {
+                asm.label(format!("tramp{i}"));
+                if i + 1 == pws.len() {
+                    asm.ret();
+                } else {
+                    asm.jmp32(&format!("pw{}", i + 1));
+                }
+            }
+        }
+
+        let program: Program = asm.finish().map_err(AttackError::Snippet)?;
+        Ok(AttackerRig {
+            machine: Machine::new(program),
+            entry,
+            jmp_addrs,
+            pws,
+            baseline: None,
+        })
+    }
+
+    /// The monitored windows, sorted by address.
+    pub fn pws(&self) -> &[PwSpec] {
+        &self.pws
+    }
+
+    /// Runs the snippet chain once on `core`, leaving one BTB entry per
+    /// window — the *prime* step of NV-Core.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::ProbeFailed`] if the chain did not complete.
+    pub fn prime(&mut self, core: &mut Core) -> Result<(), AttackError> {
+        self.run_chain(core)
+    }
+
+    /// Calibrates the no-victim baseline: primes, then measures one quiet
+    /// probe pass. Must be called once before [`AttackerRig::probe`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::ProbeFailed`] if either pass fails.
+    pub fn calibrate(&mut self, core: &mut Core) -> Result<(), AttackError> {
+        self.run_chain(core)?; // prime
+        let elapsed = self.measured_pass(core)?;
+        self.baseline = Some(elapsed);
+        Ok(())
+    }
+
+    /// Probes: re-runs the chain, returning for every window whether its
+    /// entry was disturbed since the last prime/probe (deallocated by a
+    /// victim false hit, or stolen by a victim branch). Probing re-primes
+    /// the chain as a side effect, exactly like the paper's NV-Core loop.
+    ///
+    /// # Errors
+    ///
+    /// * [`AttackError::NotCalibrated`] — call
+    ///   [`AttackerRig::calibrate`] first;
+    /// * [`AttackError::ProbeFailed`] — the chain did not complete.
+    pub fn probe(&mut self, core: &mut Core) -> Result<Vec<bool>, AttackError> {
+        let baseline = self.baseline.clone().ok_or(AttackError::NotCalibrated)?;
+        let elapsed = self.measured_pass(core)?;
+        Ok(elapsed
+            .iter()
+            .zip(&baseline)
+            .map(|(&(own, next), &(own_base, next_base))| {
+                // A *stolen* prediction squashes while the window's own
+                // snippet fetches (its jump's record); a *deallocated*
+                // entry makes the jump itself miss, delaying what follows
+                // (the trampoline's record).
+                own > own_base + MATCH_MARGIN || next > next_base + MATCH_MARGIN
+            })
+            .collect())
+    }
+
+    /// One chain execution with LBR measurement: returns, per window, the
+    /// elapsed-cycles fields of that window's jump record and of the
+    /// record following it.
+    fn measured_pass(&mut self, core: &mut Core) -> Result<Vec<(u64, u64)>, AttackError> {
+        core.lbr_mut().clear();
+        self.run_chain(core)?;
+        let records: Vec<_> = core.lbr().iter().copied().collect();
+        let mut elapsed = Vec::with_capacity(self.jmp_addrs.len());
+        for &jmp in &self.jmp_addrs {
+            let idx = records
+                .iter()
+                .position(|r| r.from == jmp)
+                .ok_or(AttackError::ProbeFailed)?;
+            let own = records[idx].elapsed;
+            let next = records.get(idx + 1).ok_or(AttackError::ProbeFailed)?;
+            elapsed.push((own, next.elapsed));
+        }
+        Ok(elapsed)
+    }
+
+    fn run_chain(&mut self, core: &mut Core) -> Result<(), AttackError> {
+        self.machine.state_mut().set_pc(self.entry);
+        // The attacker is context-switched in: transient front-end state is
+        // gone, predictor contents (the signal) survive.
+        core.reset_frontend();
+        let budget = 64 + 16 * self.pws.len() as u64;
+        match core.run(&mut self.machine, budget) {
+            RunExit::Syscall(code) if code == CHECKPOINT => Ok(()),
+            _ => Err(AttackError::ProbeFailed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nv_isa::Assembler;
+    use nv_uarch::{Machine, UarchConfig};
+
+    fn core() -> Core {
+        Core::new(UarchConfig::default())
+    }
+
+    fn victim_nops(base: u64, count: usize) -> Machine {
+        let mut asm = Assembler::new(VirtAddr::new(base));
+        for _ in 0..count {
+            asm.nop();
+        }
+        asm.halt();
+        Machine::new(asm.finish().unwrap())
+    }
+
+    #[test]
+    fn quiet_probe_reports_no_match() {
+        let pw = PwSpec::new(VirtAddr::new(0x40_0100), 16).unwrap();
+        let mut rig = AttackerRig::new(vec![pw]).unwrap();
+        let mut core = core();
+        rig.calibrate(&mut core).unwrap();
+        for _ in 0..5 {
+            assert_eq!(rig.probe(&mut core).unwrap(), vec![false]);
+        }
+    }
+
+    #[test]
+    fn victim_nops_in_range_are_detected() {
+        let pw = PwSpec::new(VirtAddr::new(0x40_0100), 16).unwrap();
+        let mut rig = AttackerRig::new(vec![pw]).unwrap();
+        let mut core = core();
+        rig.calibrate(&mut core).unwrap();
+        let mut victim = victim_nops(0x40_0100, 20);
+        core.reset_frontend();
+        core.run(&mut victim, 100);
+        assert_eq!(rig.probe(&mut core).unwrap(), vec![true]);
+        // The probe re-primed: with no further victim activity the next
+        // probe is quiet again.
+        assert_eq!(rig.probe(&mut core).unwrap(), vec![false]);
+    }
+
+    #[test]
+    fn victim_outside_range_is_not_detected() {
+        let pw = PwSpec::new(VirtAddr::new(0x40_0100), 16).unwrap();
+        let mut rig = AttackerRig::new(vec![pw]).unwrap();
+        let mut core = core();
+        rig.calibrate(&mut core).unwrap();
+        // Victim executes just past the monitored range.
+        let mut victim = victim_nops(0x40_0110, 20);
+        core.reset_frontend();
+        core.run(&mut victim, 100);
+        assert_eq!(rig.probe(&mut core).unwrap(), vec![false]);
+    }
+
+    #[test]
+    fn victim_taken_branch_in_range_is_detected() {
+        // Fig. 5 cases 1/2: the victim's PW ends with a taken jump inside
+        // the attacker's range — entry stealing.
+        let pw = PwSpec::new(VirtAddr::new(0x40_0100), 16).unwrap();
+        let mut rig = AttackerRig::new(vec![pw]).unwrap();
+        let mut core = core();
+        rig.calibrate(&mut core).unwrap();
+        let mut asm = Assembler::new(VirtAddr::new(0x40_00f8));
+        asm.nop();
+        asm.nop();
+        asm.nop();
+        asm.nop();
+        asm.jmp32("out"); // bytes fc..100: ends at 0x40_0100, inside the range
+        asm.label("out");
+        asm.halt();
+        let mut victim = Machine::new(asm.finish().unwrap());
+        core.reset_frontend();
+        core.run(&mut victim, 100);
+        assert_eq!(rig.probe(&mut core).unwrap(), vec![true]);
+    }
+
+    #[test]
+    fn chained_windows_measure_independently() {
+        let pws = vec![
+            PwSpec::new(VirtAddr::new(0x40_0100), 16).unwrap(),
+            PwSpec::new(VirtAddr::new(0x40_0140), 16).unwrap(),
+            PwSpec::new(VirtAddr::new(0x40_0180), 16).unwrap(),
+        ];
+        let mut rig = AttackerRig::new(pws).unwrap();
+        let mut core = core();
+        rig.calibrate(&mut core).unwrap();
+        // Victim touches only the middle window.
+        let mut victim = victim_nops(0x40_0140, 16);
+        core.reset_frontend();
+        core.run(&mut victim, 100);
+        assert_eq!(rig.probe(&mut core).unwrap(), vec![false, true, false]);
+    }
+
+    #[test]
+    fn two_byte_window_works() {
+        // The minimal snippet: a bare 2-byte jump.
+        let pw = PwSpec::new(VirtAddr::new(0x40_0104), 2).unwrap();
+        let mut rig = AttackerRig::new(vec![pw]).unwrap();
+        let mut core = core();
+        rig.calibrate(&mut core).unwrap();
+        let mut victim = victim_nops(0x40_0100, 12);
+        core.reset_frontend();
+        core.run(&mut victim, 100);
+        assert_eq!(rig.probe(&mut core).unwrap(), vec![true]);
+    }
+
+    #[test]
+    fn two_byte_window_respects_fetch_lower_bound(){
+        // A victim fetching *above* the signal byte must not match —
+        // the range-query lower bound (Takeaway 2) is what gives NV-S its
+        // byte granularity.
+        let pw = PwSpec::new(VirtAddr::new(0x40_0104), 2).unwrap();
+        let mut rig = AttackerRig::new(vec![pw]).unwrap();
+        let mut core = core();
+        rig.calibrate(&mut core).unwrap();
+        let mut victim = victim_nops(0x40_0106, 12); // starts past 0x40_0105
+        core.reset_frontend();
+        core.run(&mut victim, 100);
+        assert_eq!(rig.probe(&mut core).unwrap(), vec![false]);
+    }
+
+    #[test]
+    fn overlapping_windows_rejected() {
+        let pws = vec![
+            PwSpec::new(VirtAddr::new(0x40_0100), 16).unwrap(),
+            PwSpec::new(VirtAddr::new(0x40_0108), 16).unwrap(),
+        ];
+        assert!(matches!(
+            AttackerRig::new(pws),
+            Err(AttackError::OverlappingPws { .. })
+        ));
+    }
+
+    #[test]
+    fn probe_before_calibrate_errors() {
+        let pw = PwSpec::new(VirtAddr::new(0x40_0100), 16).unwrap();
+        let mut rig = AttackerRig::new(vec![pw]).unwrap();
+        let mut core = core();
+        assert!(matches!(
+            rig.probe(&mut core),
+            Err(AttackError::NotCalibrated)
+        ));
+    }
+
+    #[test]
+    fn survives_ibpb_barrier() {
+        // §4.1: IBRS/IBPB flush only indirect entries; the rig's direct
+        // jumps survive, so the attack still works.
+        let pw = PwSpec::new(VirtAddr::new(0x40_0100), 16).unwrap();
+        let mut rig = AttackerRig::new(vec![pw]).unwrap();
+        let mut core = core();
+        rig.calibrate(&mut core).unwrap();
+        core.btb_mut().indirect_predictor_barrier();
+        assert_eq!(rig.probe(&mut core).unwrap(), vec![false], "entries survive");
+        let mut victim = victim_nops(0x40_0100, 20);
+        core.reset_frontend();
+        core.run(&mut victim, 100);
+        core.btb_mut().indirect_predictor_barrier();
+        assert_eq!(
+            rig.probe(&mut core).unwrap(),
+            vec![true],
+            "signal survives the barrier too"
+        );
+    }
+
+    #[test]
+    fn full_btb_flush_defeats_the_rig() {
+        // The mitigation the paper recommends (§8.2): constant BTB
+        // flushing removes the signal *and* the baseline prime.
+        let pw = PwSpec::new(VirtAddr::new(0x40_0100), 16).unwrap();
+        let mut rig = AttackerRig::new(vec![pw]).unwrap();
+        let mut core = core();
+        rig.calibrate(&mut core).unwrap();
+        core.btb_mut().flush();
+        // Without victim activity the probe *looks* like a match — the
+        // attacker cannot distinguish a flush from a victim touch, i.e.
+        // the channel is jammed.
+        assert_eq!(rig.probe(&mut core).unwrap(), vec![true]);
+    }
+}

@@ -1,0 +1,269 @@
+//! Sequence-based function fingerprinting — the paper's §8.3 future work.
+//!
+//! The set-intersection fingerprint (§6.4) discards instruction ordering:
+//! "An alternative fingerprinting mechanism could directly use the dynamic
+//! PC trace as the function fingerprint. … We note that this process is
+//! similar to genomic (DNA) sequence matching." This module implements
+//! that alternative:
+//!
+//! * [`lcs_similarity`] — normalized longest-common-subsequence score
+//!   between the victim's dynamic offset trace and a reference trace. Like
+//!   DNA alignment, it tolerates *mutations* (the attack's occasional
+//!   mismeasured PCs) while rewarding order agreement.
+//! * [`local_alignment`] — Smith–Waterman-style local alignment score, for
+//!   finding a known function embedded in a longer victim trace.
+//!
+//! References here are *dynamic traces* (the attacker owns the reference
+//! binary and can run it, §6.4's preparation step), so loops compare
+//! against loops instead of being flattened into sets.
+
+use std::collections::BTreeSet;
+
+/// A reference function represented by a dynamic PC-offset trace.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ReferenceTrace {
+    name: String,
+    trace: Vec<u64>,
+}
+
+impl ReferenceTrace {
+    /// Creates a reference from its name and dynamic offset trace.
+    pub fn new(name: impl Into<String>, trace: impl IntoIterator<Item = u64>) -> Self {
+        ReferenceTrace {
+            name: name.into(),
+            trace: trace.into_iter().collect(),
+        }
+    }
+
+    /// The reference's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The reference trace.
+    pub fn trace(&self) -> &[u64] {
+        &self.trace
+    }
+}
+
+/// Length of the longest common subsequence of `a` and `b`.
+///
+/// Classic O(|a|·|b|) dynamic program with O(min) rows; traces in this
+/// system are a few hundred elements, far below any practical limit.
+pub fn lcs_len(a: &[u64], b: &[u64]) -> usize {
+    if a.is_empty() || b.is_empty() {
+        return 0;
+    }
+    // Keep the inner dimension the smaller one.
+    let (outer, inner) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut prev = vec![0usize; inner.len() + 1];
+    let mut current = vec![0usize; inner.len() + 1];
+    for &x in outer {
+        for (j, &y) in inner.iter().enumerate() {
+            current[j + 1] = if x == y {
+                prev[j] + 1
+            } else {
+                prev[j + 1].max(current[j])
+            };
+        }
+        std::mem::swap(&mut prev, &mut current);
+    }
+    prev[inner.len()]
+}
+
+/// Normalized LCS similarity: `LCS(victim, reference) / |victim|`.
+///
+/// Mirrors the set similarity's normalization (§6.4 uses `|S ∩ S*| / |S|`)
+/// so the two scores are directly comparable; empty victims score zero.
+///
+/// # Examples
+///
+/// ```
+/// use nightvision::seq_fingerprint::lcs_similarity;
+///
+/// let victim = [0u64, 7, 11, 7, 11, 20];
+/// assert_eq!(lcs_similarity(&victim, &victim), 1.0);
+///
+/// // Same PCs, wrong order: the set similarity would be 1.0; the
+/// // sequence similarity notices.
+/// let shuffled = [20u64, 11, 7, 11, 7, 0];
+/// assert!(lcs_similarity(&victim, &shuffled) < 0.6);
+/// ```
+pub fn lcs_similarity(victim: &[u64], reference: &[u64]) -> f64 {
+    if victim.is_empty() {
+        return 0.0;
+    }
+    lcs_len(victim, reference) as f64 / victim.len() as f64
+}
+
+/// Smith–Waterman-style local alignment score with match = +1 and
+/// mismatch/gap = -1, normalized by the victim length. Scores the best
+/// *contiguous-ish* region of agreement, so a reference function embedded
+/// anywhere inside a longer victim trace still scores highly.
+pub fn local_alignment(victim: &[u64], reference: &[u64]) -> f64 {
+    if victim.is_empty() || reference.is_empty() {
+        return 0.0;
+    }
+    let mut prev = vec![0i64; reference.len() + 1];
+    let mut current = vec![0i64; reference.len() + 1];
+    let mut best = 0i64;
+    for &v in victim {
+        for (j, &r) in reference.iter().enumerate() {
+            let diag = prev[j] + if v == r { 1 } else { -1 };
+            let up = prev[j + 1] - 1;
+            let left = current[j] - 1;
+            current[j + 1] = diag.max(up).max(left).max(0);
+            best = best.max(current[j + 1]);
+        }
+        std::mem::swap(&mut prev, &mut current);
+        current.fill(0);
+    }
+    best as f64 / victim.len().min(reference.len()) as f64
+}
+
+/// A ranked sequence-match result.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SequenceMatch {
+    /// Reference name.
+    pub name: String,
+    /// Normalized LCS score in `[0, 1]`.
+    pub score: f64,
+}
+
+/// Matches victim traces against dynamic reference traces.
+#[derive(Clone, Debug, Default)]
+pub struct SequenceFingerprinter {
+    references: Vec<ReferenceTrace>,
+}
+
+impl SequenceFingerprinter {
+    /// Creates an empty fingerprinter.
+    pub fn new() -> Self {
+        SequenceFingerprinter::default()
+    }
+
+    /// Registers a reference trace.
+    pub fn add_reference(&mut self, reference: ReferenceTrace) -> &mut Self {
+        self.references.push(reference);
+        self
+    }
+
+    /// The registered references.
+    pub fn references(&self) -> &[ReferenceTrace] {
+        &self.references
+    }
+
+    /// Scores `victim` against every reference (best first; name-ordered
+    /// ties for determinism).
+    pub fn rank(&self, victim: &[u64]) -> Vec<SequenceMatch> {
+        let mut matches: Vec<SequenceMatch> = self
+            .references
+            .iter()
+            .map(|r| SequenceMatch {
+                name: r.name.clone(),
+                score: lcs_similarity(victim, &r.trace),
+            })
+            .collect();
+        matches.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .expect("finite")
+                .then_with(|| a.name.cmp(&b.name))
+        });
+        matches
+    }
+}
+
+/// Discrimination margin: how far the true reference's score sits above
+/// the best impostor's — the quantity §8.3's refinement is meant to
+/// improve. Helper shared by the comparison bench and tests.
+pub fn margin(true_score: f64, best_impostor: f64) -> f64 {
+    true_score - best_impostor
+}
+
+/// Set-of-offsets view of a trace (for comparing against the §6.4 set
+/// method on identical inputs).
+pub fn trace_to_set(trace: &[u64]) -> BTreeSet<u64> {
+    trace.iter().copied().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::similarity;
+
+    #[test]
+    fn lcs_basics() {
+        assert_eq!(lcs_len(&[], &[1]), 0);
+        assert_eq!(lcs_len(&[1, 2, 3], &[1, 2, 3]), 3);
+        assert_eq!(lcs_len(&[1, 2, 3], &[3, 2, 1]), 1);
+        assert_eq!(lcs_len(&[1, 3, 5, 7], &[0, 3, 4, 7, 9]), 2);
+        // Symmetry.
+        assert_eq!(lcs_len(&[1, 9, 2, 8], &[9, 8]), lcs_len(&[9, 8], &[1, 9, 2, 8]));
+    }
+
+    #[test]
+    fn lcs_similarity_identity_and_bounds() {
+        let t = [5u64, 6, 5, 6, 9];
+        assert_eq!(lcs_similarity(&t, &t), 1.0);
+        assert_eq!(lcs_similarity(&[], &t), 0.0);
+        assert_eq!(lcs_similarity(&t, &[]), 0.0);
+        let s = lcs_similarity(&t, &[5, 9]);
+        assert!(s > 0.0 && s < 1.0);
+    }
+
+    #[test]
+    fn order_information_separates_what_sets_cannot() {
+        // Two "functions" with identical PC sets but different loop
+        // structure: a set fingerprint cannot tell them apart; the
+        // sequence fingerprint can (the §8.3 motivation).
+        let looped: Vec<u64> = vec![0, 4, 8, 4, 8, 4, 8, 12];
+        let straight: Vec<u64> = vec![0, 12, 8, 4, 8, 4, 4, 8];
+        let set_a = trace_to_set(&looped);
+        let set_b = trace_to_set(&straight);
+        assert_eq!(similarity(&set_a, &set_b), 1.0, "sets are blind");
+        assert!(
+            lcs_similarity(&looped, &straight) < 0.8,
+            "sequences are not"
+        );
+    }
+
+    #[test]
+    fn tolerates_isolated_mutations() {
+        // One mismeasured PC (a "mutated gene") barely moves the score.
+        let clean: Vec<u64> = (0..50).map(|i| i * 3).collect();
+        let mut mutated = clean.clone();
+        mutated[20] = 9999;
+        let score = lcs_similarity(&mutated, &clean);
+        assert!(score >= 0.98, "{score}");
+    }
+
+    #[test]
+    fn local_alignment_finds_embedded_functions() {
+        let function: Vec<u64> = (0..20).map(|i| 1000 + i * 4).collect();
+        let mut surrounding: Vec<u64> = (0..30).map(|i| i * 7).collect();
+        surrounding.extend_from_slice(&function);
+        surrounding.extend((0..30).map(|i| 4000 + i * 5));
+        let embedded = local_alignment(&surrounding, &function);
+        assert!(embedded >= 0.99, "{embedded}");
+        let absent = local_alignment(&(0..30).map(|i| i * 7).collect::<Vec<_>>(), &function);
+        assert!(absent < 0.2, "{absent}");
+    }
+
+    #[test]
+    fn ranking_is_deterministic_and_correct() {
+        let mut fp = SequenceFingerprinter::new();
+        fp.add_reference(ReferenceTrace::new("gcd", vec![0u64, 7, 11, 7, 11, 20]));
+        fp.add_reference(ReferenceTrace::new("aes", vec![0u64, 3, 6, 9]));
+        let ranked = fp.rank(&[0, 7, 11, 7, 11, 20]);
+        assert_eq!(ranked[0].name, "gcd");
+        assert_eq!(ranked[0].score, 1.0);
+        assert!(ranked[1].score < ranked[0].score);
+    }
+
+    #[test]
+    fn margin_helper() {
+        assert!((margin(0.9, 0.5) - 0.4).abs() < 1e-12);
+        assert!(margin(0.5, 0.9) < 0.0);
+    }
+}

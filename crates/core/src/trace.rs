@@ -1,0 +1,224 @@
+//! PC-trace post-processing: slicing at call/ret boundaries and
+//! position-independent normalization (§6.4, step 1).
+//!
+//! The slicer sees only what the supervisor attacker legitimately has: the
+//! extracted PC sequence and, per step, whether the step touched a data
+//! page (access-bit channel). Calls and returns are recognized as PC jumps
+//! longer than 16 bytes that also access data memory — calls/rets push/pop
+//! the return address, ordinary jumps do not.
+
+use std::collections::BTreeSet;
+
+use nv_isa::VirtAddr;
+
+use crate::nv_supervisor::{ExtractedTrace, StepMeasurement};
+
+/// Maximum PC delta of "ordinary" sequential flow; longer jumps that touch
+/// data memory are call/ret suspects (§6.4).
+const CALL_JUMP_THRESHOLD: i64 = 16;
+
+/// Window after a call site in which a return may land (the call
+/// instruction's length is unknown to the attacker).
+const RETURN_WINDOW: i64 = 16;
+
+/// One function-level trace: an invocation of an unknown victim function,
+/// normalized to be position-independent.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FunctionTrace {
+    /// Absolute entry PC of the invocation (the attacker knows addresses,
+    /// just not code bytes).
+    pub entry: VirtAddr,
+    /// Dynamic PC offsets relative to `entry`, in execution order.
+    pub offsets: Vec<u64>,
+}
+
+impl FunctionTrace {
+    /// The trace as a position-independent set (`S` of §6.4 step 2).
+    pub fn offset_set(&self) -> BTreeSet<u64> {
+        self.offsets.iter().copied().collect()
+    }
+
+    /// Number of dynamic PCs recorded.
+    pub fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// `true` if the invocation recorded no PCs.
+    pub fn is_empty(&self) -> bool {
+        self.offsets.is_empty()
+    }
+}
+
+/// Slices a `(pc, data_access)` sequence into per-function traces.
+///
+/// Functions are assumed to be entered by calls and left by returns (§6.4:
+/// "we assume functions are only entered/exited via calls/rets"). The
+/// top-level (pre-call) trace is not reported.
+///
+/// # Examples
+///
+/// ```
+/// use nightvision::trace::slice_functions;
+/// use nv_isa::VirtAddr;
+///
+/// let a = |v: u64| VirtAddr::new(v);
+/// // main at 0x100 calls f at 0x200; f runs two instructions and returns.
+/// let steps = [
+///     (a(0x100), false),
+///     (a(0x105), true),  // the call (pushes the return address)
+///     (a(0x200), false), // f's entry
+///     (a(0x203), false),
+///     (a(0x204), true),  // f's ret (pops)
+///     (a(0x10a), false), // back in main
+/// ];
+/// let functions = slice_functions(&steps);
+/// assert_eq!(functions.len(), 1);
+/// assert_eq!(functions[0].entry, a(0x200));
+/// assert_eq!(functions[0].offsets, vec![0, 3, 4]);
+/// ```
+pub fn slice_functions(steps: &[(VirtAddr, bool)]) -> Vec<FunctionTrace> {
+    let mut finished = Vec::new();
+    let mut stack: Vec<(VirtAddr, FunctionTrace)> = Vec::new();
+    for (i, &(pc, data_access)) in steps.iter().enumerate() {
+        if let Some((_, trace)) = stack.last_mut() {
+            trace.offsets.push((pc - trace.entry) as u64);
+        }
+        let Some(&(next, _)) = steps.get(i + 1) else {
+            break;
+        };
+        let delta = next - pc;
+        if delta.abs() <= CALL_JUMP_THRESHOLD || !data_access {
+            continue;
+        }
+        // A long jump with a data access: call or ret?
+        let returns_to_top = stack
+            .last()
+            .map(|(call_pc, _)| {
+                let back = next - *call_pc;
+                back > 0 && back <= RETURN_WINDOW
+            })
+            .unwrap_or(false);
+        if returns_to_top {
+            let (_, trace) = stack.pop().expect("checked non-empty");
+            finished.push(trace);
+        } else {
+            stack.push((
+                pc,
+                FunctionTrace {
+                    entry: next,
+                    offsets: Vec::new(),
+                },
+            ));
+        }
+    }
+    // Unreturned-from functions (e.g. the enclave exited inside a call
+    // chain) are reported too, outermost last.
+    while let Some((_, trace)) = stack.pop() {
+        finished.push(trace);
+    }
+    finished
+}
+
+/// Convenience: slices an [`ExtractedTrace`], skipping unresolved steps.
+pub fn slice_extracted(trace: &ExtractedTrace) -> Vec<FunctionTrace> {
+    let steps: Vec<(VirtAddr, bool)> = trace
+        .steps()
+        .iter()
+        .filter_map(|m: &StepMeasurement| m.pc.map(|pc| (pc, m.data_access)))
+        .collect();
+    slice_functions(&steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(v: u64) -> VirtAddr {
+        VirtAddr::new(v)
+    }
+
+    #[test]
+    fn nested_calls_are_separated() {
+        // main -> f -> g, both return.
+        let steps = [
+            (a(0x100), false),
+            (a(0x103), true), // call f
+            (a(0x200), false),
+            (a(0x202), true), // call g
+            (a(0x300), false),
+            (a(0x301), true), // ret from g
+            (a(0x207), false),
+            (a(0x208), true), // ret from f
+            (a(0x108), false),
+        ];
+        let functions = slice_functions(&steps);
+        assert_eq!(functions.len(), 2);
+        // g finishes first.
+        assert_eq!(functions[0].entry, a(0x300));
+        assert_eq!(functions[0].offsets, vec![0, 1]);
+        assert_eq!(functions[1].entry, a(0x200));
+        assert_eq!(functions[1].offsets, vec![0, 2, 7, 8]);
+    }
+
+    #[test]
+    fn long_jump_without_data_access_is_not_a_call() {
+        let steps = [
+            (a(0x100), false),
+            (a(0x105), false), // plain jmp far away
+            (a(0x300), false),
+            (a(0x301), false),
+        ];
+        assert!(slice_functions(&steps).is_empty());
+    }
+
+    #[test]
+    fn short_hop_with_data_access_is_not_a_call() {
+        // A store followed by a nearby instruction.
+        let steps = [(a(0x100), true), (a(0x104), false), (a(0x108), true)];
+        assert!(slice_functions(&steps).is_empty());
+    }
+
+    #[test]
+    fn unreturned_function_still_reported() {
+        let steps = [
+            (a(0x100), true), // call
+            (a(0x400), false),
+            (a(0x403), false), // enclave exits here
+        ];
+        let functions = slice_functions(&steps);
+        assert_eq!(functions.len(), 1);
+        assert_eq!(functions[0].offsets, vec![0, 3]);
+    }
+
+    #[test]
+    fn traces_are_position_independent() {
+        for base in [0x1000u64, 0x7654_3210] {
+            let steps = [
+                (a(base), true), // call
+                (a(base + 0x100), false),
+                (a(base + 0x104), false),
+                (a(base + 0x105), true), // ret
+                (a(base + 0x5), false),
+            ];
+            let functions = slice_functions(&steps);
+            assert_eq!(functions[0].offsets, vec![0, 4, 5]);
+        }
+    }
+
+    #[test]
+    fn offset_set_deduplicates_loops() {
+        let trace = FunctionTrace {
+            entry: a(0x100),
+            offsets: vec![0, 4, 8, 4, 8, 4, 8, 12],
+        };
+        let set = trace.offset_set();
+        assert_eq!(set.len(), 4);
+        assert_eq!(trace.len(), 8);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        assert!(slice_functions(&[]).is_empty());
+        assert!(slice_functions(&[(a(0x100), true)]).is_empty());
+    }
+}

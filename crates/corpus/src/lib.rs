@@ -1,0 +1,26 @@
+//! # nv-corpus — synthetic function corpus for fingerprinting experiments
+//!
+//! Figure 12 of the paper ranks the similarity of two reference functions
+//! (GCD, bn_cmp) against PC traces of **175,168 additional functions**
+//! collected from open-source SGX projects. Those binaries are not
+//! available offline, so this crate generates a deterministic synthetic
+//! corpus with the properties fingerprinting actually consumes:
+//!
+//! * variable-length instruction encodings with a realistic opcode/length
+//!   mix (the entropy source of §6.4),
+//! * realistic function sizes (a long-tailed 8–200 instruction range),
+//! * genuine dynamic control flow: forward branches with fixed outcomes
+//!   and bounded counted loops, so each function has a *dynamic* PC trace
+//!   distinct from its static layout.
+//!
+//! Each [`CorpusFunction`] carries its static and dynamic position-
+//! independent PC sets, and can be materialized into a runnable
+//! [`nv_isa::Program`] whose simulated execution provably follows the same
+//! trace (see the integration tests).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod generator;
+
+pub use generator::{generate, Corpus, CorpusConfig, CorpusFunction};

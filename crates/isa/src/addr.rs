@@ -1,0 +1,305 @@
+//! Virtual addresses and the block/page arithmetic used throughout the
+//! reproduction.
+//!
+//! Three granularities matter to NightVision:
+//!
+//! * the **32-byte prediction-window block** — Intel front ends fetch one
+//!   aligned 32-byte block per cycle, and BTB offsets are 5 bits;
+//! * the **4 KiB page** — controlled-channel attacks leak page numbers;
+//! * the **BTB tag cutoff** — BTB lookups ignore address bits ≥ 33 (or ≥ 34
+//!   on IceLake), which is the aliasing the attack exploits.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Size in bytes of a prediction-window block (Intel fetch granularity).
+pub const BLOCK_BYTES: u64 = 32;
+
+/// Size in bytes of a virtual-memory page.
+pub const PAGE_BYTES: u64 = 4096;
+
+/// A 64-bit virtual address.
+///
+/// A newtype so that raw integers, byte counts and addresses cannot be
+/// confused (C-NEWTYPE). All arithmetic wraps, mirroring hardware address
+/// calculation.
+///
+/// # Examples
+///
+/// ```
+/// use nv_isa::VirtAddr;
+///
+/// let a = VirtAddr::new(0x40_0025);
+/// assert_eq!(a.block_base().value(), 0x40_0020);
+/// assert_eq!(a.block_offset(), 5);
+/// assert_eq!(a.page_number(), 0x400);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtAddr(u64);
+
+impl VirtAddr {
+    /// Creates an address from its raw 64-bit value.
+    pub const fn new(value: u64) -> Self {
+        VirtAddr(value)
+    }
+
+    /// The raw 64-bit value of the address.
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Base address of the 32-byte prediction-window block containing `self`.
+    pub const fn block_base(self) -> VirtAddr {
+        VirtAddr(self.0 & !(BLOCK_BYTES - 1))
+    }
+
+    /// Offset of the address within its 32-byte block (`0..32`).
+    ///
+    /// This is the 5-bit *offset* field of a BTB entry.
+    pub const fn block_offset(self) -> u8 {
+        (self.0 & (BLOCK_BYTES - 1)) as u8
+    }
+
+    /// Base address of the 4 KiB page containing `self`.
+    pub const fn page_base(self) -> VirtAddr {
+        VirtAddr(self.0 & !(PAGE_BYTES - 1))
+    }
+
+    /// Virtual page number (address divided by the 4 KiB page size).
+    pub const fn page_number(self) -> u64 {
+        self.0 / PAGE_BYTES
+    }
+
+    /// Offset of the address within its 4 KiB page (`0..4096`).
+    pub const fn page_offset(self) -> u64 {
+        self.0 & (PAGE_BYTES - 1)
+    }
+
+    /// The address truncated to its low `bits` bits.
+    ///
+    /// BTB lookups on the modelled CPUs only consider address bits below the
+    /// tag cutoff (33 for SkyLake-class parts, 34 for IceLake), so two
+    /// addresses *alias in the BTB* iff their truncations are equal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 64.
+    pub fn truncate(self, bits: u32) -> u64 {
+        assert!(bits >= 1 && bits <= 64, "truncation width out of range");
+        if bits == 64 {
+            self.0
+        } else {
+            self.0 & ((1u64 << bits) - 1)
+        }
+    }
+
+    /// Whether `self` and `other` have identical low `bits` bits, i.e.
+    /// whether they collide under a BTB that ignores bits ≥ `bits`.
+    pub fn aliases(self, other: VirtAddr, bits: u32) -> bool {
+        self.truncate(bits) == other.truncate(bits)
+    }
+
+    /// Extracts the bit field `[lo, hi)` of the address as a `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or `hi > 64`.
+    pub fn bits(self, lo: u32, hi: u32) -> u64 {
+        assert!(lo < hi && hi <= 64, "bit range out of order");
+        let shifted = self.0 >> lo;
+        let width = hi - lo;
+        if width == 64 {
+            shifted
+        } else {
+            shifted & ((1u64 << width) - 1)
+        }
+    }
+
+    /// Address `count` bytes after `self`, wrapping on overflow.
+    pub const fn offset(self, count: u64) -> VirtAddr {
+        VirtAddr(self.0.wrapping_add(count))
+    }
+
+    /// Signed displacement from `self`, wrapping on overflow.
+    ///
+    /// Used for relative branch target computation.
+    pub const fn offset_signed(self, disp: i64) -> VirtAddr {
+        VirtAddr(self.0.wrapping_add(disp as u64))
+    }
+
+    /// Aligns the address *up* to a multiple of `align`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    pub fn align_up(self, align: u64) -> VirtAddr {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        VirtAddr(self.0.wrapping_add(align - 1) & !(align - 1))
+    }
+
+    /// `true` if `self` lies in the half-open range `[start, end)`.
+    pub fn in_range(self, start: VirtAddr, end: VirtAddr) -> bool {
+        self >= start && self < end
+    }
+}
+
+impl fmt::Debug for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VirtAddr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for VirtAddr {
+    fn from(value: u64) -> Self {
+        VirtAddr(value)
+    }
+}
+
+impl From<VirtAddr> for u64 {
+    fn from(addr: VirtAddr) -> Self {
+        addr.0
+    }
+}
+
+impl Add<u64> for VirtAddr {
+    type Output = VirtAddr;
+
+    fn add(self, rhs: u64) -> VirtAddr {
+        self.offset(rhs)
+    }
+}
+
+impl AddAssign<u64> for VirtAddr {
+    fn add_assign(&mut self, rhs: u64) {
+        *self = self.offset(rhs);
+    }
+}
+
+impl Sub<VirtAddr> for VirtAddr {
+    type Output = i64;
+
+    /// Signed byte distance from `rhs` to `self`.
+    fn sub(self, rhs: VirtAddr) -> i64 {
+        self.0.wrapping_sub(rhs.0) as i64
+    }
+}
+
+impl Sub<u64> for VirtAddr {
+    type Output = VirtAddr;
+
+    fn sub(self, rhs: u64) -> VirtAddr {
+        VirtAddr(self.0.wrapping_sub(rhs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_arithmetic() {
+        let a = VirtAddr::new(0x1234_5678_9abc_def1);
+        assert_eq!(a.block_base().value(), 0x1234_5678_9abc_dee0);
+        assert_eq!(a.block_offset(), 0x11);
+        assert_eq!(a.block_base().block_offset(), 0);
+    }
+
+    #[test]
+    fn page_arithmetic() {
+        let a = VirtAddr::new(0x40_1fff);
+        assert_eq!(a.page_base().value(), 0x40_1000);
+        assert_eq!(a.page_number(), 0x401);
+        assert_eq!(a.page_offset(), 0xfff);
+    }
+
+    #[test]
+    fn truncation_and_aliasing() {
+        // Two addresses 8 GiB apart share their low 33 bits.
+        let lo = VirtAddr::new(0x4000_1234);
+        let hi = VirtAddr::new(0x4000_1234 + (1u64 << 33));
+        assert!(lo.aliases(hi, 33));
+        assert!(!lo.aliases(hi, 34));
+        assert_eq!(lo.truncate(33), hi.truncate(33));
+    }
+
+    #[test]
+    fn truncate_full_width() {
+        let a = VirtAddr::new(u64::MAX);
+        assert_eq!(a.truncate(64), u64::MAX);
+        assert_eq!(a.truncate(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "truncation width")]
+    fn truncate_rejects_zero() {
+        VirtAddr::new(1).truncate(0);
+    }
+
+    #[test]
+    fn bit_fields() {
+        let a = VirtAddr::new(0b1011_0110_0101);
+        assert_eq!(a.bits(0, 5), 0b0_0101);
+        assert_eq!(a.bits(5, 12), 0b1011_011);
+        assert_eq!(VirtAddr::new(u64::MAX).bits(0, 64), u64::MAX);
+    }
+
+    #[test]
+    fn signed_offsets_wrap() {
+        let a = VirtAddr::new(0x100);
+        assert_eq!(a.offset_signed(-0x10).value(), 0xf0);
+        assert_eq!(a.offset_signed(0x10).value(), 0x110);
+        assert_eq!(VirtAddr::new(0).offset_signed(-1).value(), u64::MAX);
+    }
+
+    #[test]
+    fn distance_is_signed() {
+        let a = VirtAddr::new(0x100);
+        let b = VirtAddr::new(0x180);
+        assert_eq!(b - a, 0x80);
+        assert_eq!(a - b, -0x80);
+    }
+
+    #[test]
+    fn align_up_behaviour() {
+        assert_eq!(VirtAddr::new(0x21).align_up(32).value(), 0x40);
+        assert_eq!(VirtAddr::new(0x40).align_up(32).value(), 0x40);
+        assert_eq!(VirtAddr::new(0).align_up(4096).value(), 0);
+    }
+
+    #[test]
+    fn range_membership() {
+        let s = VirtAddr::new(0x10);
+        let e = VirtAddr::new(0x20);
+        assert!(VirtAddr::new(0x10).in_range(s, e));
+        assert!(VirtAddr::new(0x1f).in_range(s, e));
+        assert!(!VirtAddr::new(0x20).in_range(s, e));
+        assert!(!VirtAddr::new(0xf).in_range(s, e));
+    }
+
+    #[test]
+    fn display_formats_hex() {
+        let a = VirtAddr::new(0xdead);
+        assert_eq!(a.to_string(), "0xdead");
+        assert_eq!(format!("{:x}", a), "dead");
+        assert_eq!(format!("{:X}", a), "DEAD");
+        assert_eq!(format!("{:?}", a), "VirtAddr(0xdead)");
+    }
+}

@@ -1,0 +1,298 @@
+//! Branch conditions and the flags register they test.
+
+use std::fmt;
+
+use crate::IsaError;
+
+/// The condition codes usable by conditional branches.
+///
+/// Signed comparisons (`Lt`..`Ge`) follow `cmp a, b` semantics on signed
+/// 64-bit values; `B`/`Be`/`A`/`Ae` are the unsigned forms (x86
+/// below/above). `Eq`/`Ne` are sign-agnostic.
+///
+/// # Examples
+///
+/// ```
+/// use nv_isa::Cond;
+///
+/// assert_eq!(Cond::Lt.negate(), Cond::Ge);
+/// assert_eq!(Cond::from_code(Cond::A.code()).unwrap(), Cond::A);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Cond {
+    /// Equal (`zf`).
+    Eq,
+    /// Not equal (`!zf`).
+    Ne,
+    /// Signed less-than (`sf != of`).
+    Lt,
+    /// Signed less-or-equal (`zf || sf != of`).
+    Le,
+    /// Signed greater-than (`!zf && sf == of`).
+    Gt,
+    /// Signed greater-or-equal (`sf == of`).
+    Ge,
+    /// Unsigned below (`cf`).
+    B,
+    /// Unsigned below-or-equal (`cf || zf`).
+    Be,
+    /// Unsigned above (`!cf && !zf`).
+    A,
+    /// Unsigned above-or-equal (`!cf`).
+    Ae,
+}
+
+const ALL_CONDS: [Cond; 10] = [
+    Cond::Eq,
+    Cond::Ne,
+    Cond::Lt,
+    Cond::Le,
+    Cond::Gt,
+    Cond::Ge,
+    Cond::B,
+    Cond::Be,
+    Cond::A,
+    Cond::Ae,
+];
+
+impl Cond {
+    /// Numeric code of the condition, used in instruction encodings
+    /// (the low nibble of the `Jcc` opcode byte).
+    pub const fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Recovers a condition from its numeric code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::BadCondition`] for codes ≥ 10, which is how the
+    /// decoder rejects garbage `Jcc` opcode bytes.
+    pub fn from_code(code: u8) -> Result<Cond, IsaError> {
+        ALL_CONDS
+            .get(code as usize)
+            .copied()
+            .ok_or(IsaError::BadCondition(code))
+    }
+
+    /// The logically opposite condition (`Eq` ↔ `Ne`, `Lt` ↔ `Ge`, …).
+    ///
+    /// Victim code transforms (branch balancing, control-flow randomization)
+    /// use this to flip branch polarity while preserving semantics.
+    pub const fn negate(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Lt => Cond::Ge,
+            Cond::Le => Cond::Gt,
+            Cond::Gt => Cond::Le,
+            Cond::Ge => Cond::Lt,
+            Cond::B => Cond::Ae,
+            Cond::Be => Cond::A,
+            Cond::A => Cond::Be,
+            Cond::Ae => Cond::B,
+        }
+    }
+
+    /// Evaluates the condition against a [`Flags`] value.
+    pub const fn eval(self, flags: Flags) -> bool {
+        match self {
+            Cond::Eq => flags.zf,
+            Cond::Ne => !flags.zf,
+            Cond::Lt => flags.sf != flags.of,
+            Cond::Le => flags.zf || flags.sf != flags.of,
+            Cond::Gt => !flags.zf && flags.sf == flags.of,
+            Cond::Ge => flags.sf == flags.of,
+            Cond::B => flags.cf,
+            Cond::Be => flags.cf || flags.zf,
+            Cond::A => !flags.cf && !flags.zf,
+            Cond::Ae => !flags.cf,
+        }
+    }
+
+    /// Iterator over all ten conditions.
+    pub fn all() -> impl Iterator<Item = Cond> {
+        ALL_CONDS.into_iter()
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Lt => "lt",
+            Cond::Le => "le",
+            Cond::Gt => "gt",
+            Cond::Ge => "ge",
+            Cond::B => "b",
+            Cond::Be => "be",
+            Cond::A => "a",
+            Cond::Ae => "ae",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The machine's arithmetic flags, set by `cmp`/`test` and arithmetic ops.
+///
+/// Semantics mirror the x86 `ZF`/`SF`/`CF`/`OF` bits for 64-bit operations.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Flags {
+    /// Zero flag: result was zero.
+    pub zf: bool,
+    /// Sign flag: result's top bit.
+    pub sf: bool,
+    /// Carry flag: unsigned overflow / borrow.
+    pub cf: bool,
+    /// Overflow flag: signed overflow.
+    pub of: bool,
+}
+
+impl Flags {
+    /// Flags produced by `cmp a, b` (computes `a - b` and discards it).
+    pub fn from_cmp(a: u64, b: u64) -> Flags {
+        let (result, borrow) = a.overflowing_sub(b);
+        let signed_overflow = (a as i64).overflowing_sub(b as i64).1;
+        Flags {
+            zf: result == 0,
+            sf: (result as i64) < 0,
+            cf: borrow,
+            of: signed_overflow,
+        }
+    }
+
+    /// Flags produced by `test a, b` (computes `a & b` and discards it).
+    pub fn from_test(a: u64, b: u64) -> Flags {
+        let result = a & b;
+        Flags {
+            zf: result == 0,
+            sf: (result as i64) < 0,
+            cf: false,
+            of: false,
+        }
+    }
+
+    /// Flags produced by a logical operation whose result is `result`
+    /// (`and`/`or`/`xor` clear carry and overflow).
+    pub fn from_logic(result: u64) -> Flags {
+        Flags {
+            zf: result == 0,
+            sf: (result as i64) < 0,
+            cf: false,
+            of: false,
+        }
+    }
+
+    /// Flags produced by `add a, b`.
+    pub fn from_add(a: u64, b: u64) -> Flags {
+        let (result, carry) = a.overflowing_add(b);
+        let signed_overflow = (a as i64).overflowing_add(b as i64).1;
+        Flags {
+            zf: result == 0,
+            sf: (result as i64) < 0,
+            cf: carry,
+            of: signed_overflow,
+        }
+    }
+
+    /// Flags produced by `sub a, b` (identical to [`Flags::from_cmp`]).
+    pub fn from_sub(a: u64, b: u64) -> Flags {
+        Flags::from_cmp(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_roundtrip() {
+        for cond in Cond::all() {
+            assert_eq!(Cond::from_code(cond.code()).unwrap(), cond);
+        }
+        assert!(matches!(Cond::from_code(10), Err(IsaError::BadCondition(10))));
+    }
+
+    #[test]
+    fn negation_is_involutive_and_complementary() {
+        for cond in Cond::all() {
+            assert_eq!(cond.negate().negate(), cond);
+            // For any flags value exactly one of cond / !cond holds.
+            for bits in 0u8..16 {
+                let flags = Flags {
+                    zf: bits & 1 != 0,
+                    sf: bits & 2 != 0,
+                    cf: bits & 4 != 0,
+                    of: bits & 8 != 0,
+                };
+                assert_ne!(cond.eval(flags), cond.negate().eval(flags));
+            }
+        }
+    }
+
+    #[test]
+    fn signed_comparison_semantics() {
+        let cases: [(i64, i64); 7] = [
+            (0, 0),
+            (1, 2),
+            (2, 1),
+            (-1, 1),
+            (1, -1),
+            (i64::MIN, i64::MAX),
+            (i64::MAX, i64::MIN),
+        ];
+        for (a, b) in cases {
+            let flags = Flags::from_cmp(a as u64, b as u64);
+            assert_eq!(Cond::Eq.eval(flags), a == b, "eq {a} {b}");
+            assert_eq!(Cond::Ne.eval(flags), a != b, "ne {a} {b}");
+            assert_eq!(Cond::Lt.eval(flags), a < b, "lt {a} {b}");
+            assert_eq!(Cond::Le.eval(flags), a <= b, "le {a} {b}");
+            assert_eq!(Cond::Gt.eval(flags), a > b, "gt {a} {b}");
+            assert_eq!(Cond::Ge.eval(flags), a >= b, "ge {a} {b}");
+        }
+    }
+
+    #[test]
+    fn unsigned_comparison_semantics() {
+        let cases: [(u64, u64); 6] = [
+            (0, 0),
+            (1, 2),
+            (2, 1),
+            (u64::MAX, 0),
+            (0, u64::MAX),
+            (u64::MAX, u64::MAX),
+        ];
+        for (a, b) in cases {
+            let flags = Flags::from_cmp(a, b);
+            assert_eq!(Cond::B.eval(flags), a < b, "b {a} {b}");
+            assert_eq!(Cond::Be.eval(flags), a <= b, "be {a} {b}");
+            assert_eq!(Cond::A.eval(flags), a > b, "a {a} {b}");
+            assert_eq!(Cond::Ae.eval(flags), a >= b, "ae {a} {b}");
+        }
+    }
+
+    #[test]
+    fn test_flags_track_bitwise_and() {
+        let flags = Flags::from_test(0b1010, 0b0101);
+        assert!(flags.zf);
+        let flags = Flags::from_test(0b1010, 0b0010);
+        assert!(!flags.zf);
+        let flags = Flags::from_test(u64::MAX, 1 << 63);
+        assert!(flags.sf);
+    }
+
+    #[test]
+    fn add_flags() {
+        let flags = Flags::from_add(u64::MAX, 1);
+        assert!(flags.zf && flags.cf && !flags.of);
+        let flags = Flags::from_add(i64::MAX as u64, 1);
+        assert!(flags.of && flags.sf);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Cond::Eq.to_string(), "eq");
+        assert_eq!(Cond::Ae.to_string(), "ae");
+    }
+}

@@ -1,0 +1,267 @@
+//! Instruction decoding from raw bytes.
+//!
+//! Decoding is total over *well-formed* instruction starts and fails with a
+//! descriptive [`IsaError`] elsewhere. This mirrors a real front end: a BTB
+//! false hit can steer fetch into the middle of an instruction, where decode
+//! either misinterprets the bytes as a different (valid) instruction or
+//! raises an illegal-opcode fault.
+
+use crate::encode::op;
+use crate::{Cond, Inst, IsaError, Reg};
+
+/// Returns the total encoded length implied by the leading byte(s), without
+/// decoding operands.
+///
+/// # Errors
+///
+/// Returns [`IsaError::BadOpcode`] for unassigned opcode bytes,
+/// [`IsaError::BadNopLength`] for malformed wide nops, and
+/// [`IsaError::Truncated`] when `bytes` is empty (or a wide nop is cut off
+/// before its length byte).
+///
+/// # Examples
+///
+/// ```
+/// use nv_isa::{decode_len, encode, Inst};
+///
+/// let bytes = encode(&Inst::CallRel32(-4));
+/// assert_eq!(decode_len(&bytes).unwrap(), 5);
+/// ```
+pub fn decode_len(bytes: &[u8]) -> Result<usize, IsaError> {
+    let &opcode = bytes.first().ok_or(IsaError::Truncated {
+        opcode: 0,
+        needed: 1,
+        available: 0,
+    })?;
+    let len = match opcode {
+        op::NOP | op::RET | op::HALT => 1,
+        op::SYSCALL | op::PUSH | op::POP => 2,
+        op::NOPN => {
+            let &n = bytes.get(1).ok_or(IsaError::Truncated {
+                opcode,
+                needed: 2,
+                available: 1,
+            })?;
+            if !(2..=15).contains(&n) {
+                return Err(IsaError::BadNopLength(n));
+            }
+            n as usize
+        }
+        op::MOV_RR
+        | op::ADD_RR
+        | op::SUB_RR
+        | op::AND_RR
+        | op::OR_RR
+        | op::XOR_RR
+        | op::CMP_RR
+        | op::TEST_RR
+        | op::NEG
+        | op::NOT
+        | op::JMP_IND
+        | op::CALL_IND => 3,
+        op::ADD_RI8
+        | op::SUB_RI8
+        | op::AND_RI8
+        | op::OR_RI8
+        | op::XOR_RI8
+        | op::SHL_RI
+        | op::SHR_RI
+        | op::SAR_RI
+        | op::MUL_RR
+        | op::CMP_RI8
+        | op::LOAD
+        | op::STORE => 4,
+        op::MOV_RI
+        | op::LEA
+        | op::ADD_RI32
+        | op::SUB_RI32
+        | op::CMP_RI32
+        | op::LOAD32
+        | op::STORE32 => 7,
+        op::MOV_ABS => 10,
+        b if (op::JCC_BASE..op::JCC_BASE + 10).contains(&b) => 2,
+        b if (op::JCC32_BASE..op::JCC32_BASE + 10).contains(&b) => 6,
+        b if (op::SETCC_BASE..op::SETCC_BASE + 10).contains(&b) => 4,
+        b if (op::CMOV_BASE..op::CMOV_BASE + 10).contains(&b) => 4,
+        op::JMP_REL8 => 2,
+        op::JMP_REL32 | op::CALL_REL32 => 5,
+        other => return Err(IsaError::BadOpcode(other)),
+    };
+    Ok(len)
+}
+
+fn reg(bytes: &[u8], idx: usize) -> Result<Reg, IsaError> {
+    Reg::from_index(bytes[idx])
+}
+
+fn imm32(bytes: &[u8], idx: usize) -> i32 {
+    i32::from_le_bytes([bytes[idx], bytes[idx + 1], bytes[idx + 2], bytes[idx + 3]])
+}
+
+fn imm64(bytes: &[u8], idx: usize) -> u64 {
+    let mut arr = [0u8; 8];
+    arr.copy_from_slice(&bytes[idx..idx + 8]);
+    u64::from_le_bytes(arr)
+}
+
+/// Decodes one instruction from the front of `bytes`.
+///
+/// Extra trailing bytes are ignored; use [`decode_len`] to know how many
+/// bytes the instruction consumed.
+///
+/// # Errors
+///
+/// Fails with [`IsaError::Truncated`] if fewer bytes than the encoded length
+/// are available, and with the corresponding `Bad*` error when operand bytes
+/// are invalid (which happens routinely when decoding from a misaligned
+/// start).
+///
+/// # Examples
+///
+/// ```
+/// use nv_isa::{decode, encode, Inst, Reg};
+///
+/// let inst = Inst::AddRr(Reg::R1, Reg::R2);
+/// assert_eq!(decode(&encode(&inst)).unwrap(), inst);
+/// ```
+pub fn decode(bytes: &[u8]) -> Result<Inst, IsaError> {
+    let len = decode_len(bytes)?;
+    if bytes.len() < len {
+        return Err(IsaError::Truncated {
+            opcode: bytes[0],
+            needed: len,
+            available: bytes.len(),
+        });
+    }
+    let opcode = bytes[0];
+    let inst = match opcode {
+        op::NOP => Inst::Nop,
+        op::RET => Inst::Ret,
+        op::HALT => Inst::Halt,
+        op::SYSCALL => Inst::Syscall(bytes[1]),
+        op::PUSH => Inst::Push(reg(bytes, 1)?),
+        op::POP => Inst::Pop(reg(bytes, 1)?),
+        op::NOPN => Inst::NopN(bytes[1]),
+        op::MOV_RR => Inst::MovRr(reg(bytes, 1)?, reg(bytes, 2)?),
+        op::MOV_RI => Inst::MovRi(reg(bytes, 1)?, imm32(bytes, 2)),
+        op::MOV_ABS => Inst::MovAbs(reg(bytes, 1)?, imm64(bytes, 2)),
+        op::LEA => Inst::Lea(reg(bytes, 1)?, reg(bytes, 2)?, imm32(bytes, 3)),
+        op::ADD_RR => Inst::AddRr(reg(bytes, 1)?, reg(bytes, 2)?),
+        op::SUB_RR => Inst::SubRr(reg(bytes, 1)?, reg(bytes, 2)?),
+        op::AND_RR => Inst::AndRr(reg(bytes, 1)?, reg(bytes, 2)?),
+        op::OR_RR => Inst::OrRr(reg(bytes, 1)?, reg(bytes, 2)?),
+        op::XOR_RR => Inst::XorRr(reg(bytes, 1)?, reg(bytes, 2)?),
+        op::ADD_RI8 => Inst::AddRi8(reg(bytes, 1)?, bytes[2] as i8),
+        op::SUB_RI8 => Inst::SubRi8(reg(bytes, 1)?, bytes[2] as i8),
+        op::AND_RI8 => Inst::AndRi8(reg(bytes, 1)?, bytes[2] as i8),
+        op::OR_RI8 => Inst::OrRi8(reg(bytes, 1)?, bytes[2] as i8),
+        op::XOR_RI8 => Inst::XorRi8(reg(bytes, 1)?, bytes[2] as i8),
+        op::ADD_RI32 => Inst::AddRi32(reg(bytes, 1)?, imm32(bytes, 2)),
+        op::SUB_RI32 => Inst::SubRi32(reg(bytes, 1)?, imm32(bytes, 2)),
+        op::SHL_RI => Inst::ShlRi(reg(bytes, 1)?, bytes[2]),
+        op::SHR_RI => Inst::ShrRi(reg(bytes, 1)?, bytes[2]),
+        op::SAR_RI => Inst::SarRi(reg(bytes, 1)?, bytes[2]),
+        op::MUL_RR => Inst::MulRr(reg(bytes, 1)?, reg(bytes, 2)?),
+        op::CMP_RR => Inst::CmpRr(reg(bytes, 1)?, reg(bytes, 2)?),
+        op::CMP_RI8 => Inst::CmpRi8(reg(bytes, 1)?, bytes[2] as i8),
+        op::CMP_RI32 => Inst::CmpRi32(reg(bytes, 1)?, imm32(bytes, 2)),
+        op::TEST_RR => Inst::TestRr(reg(bytes, 1)?, reg(bytes, 2)?),
+        op::NEG => Inst::Neg(reg(bytes, 1)?),
+        op::NOT => Inst::Not(reg(bytes, 1)?),
+        op::LOAD => Inst::Load(reg(bytes, 1)?, reg(bytes, 2)?, bytes[3] as i8),
+        op::LOAD32 => Inst::Load32(reg(bytes, 1)?, reg(bytes, 2)?, imm32(bytes, 3)),
+        op::STORE => Inst::Store(reg(bytes, 1)?, bytes[2] as i8, reg(bytes, 3)?),
+        op::STORE32 => Inst::Store32(reg(bytes, 1)?, imm32(bytes, 3), reg(bytes, 2)?),
+        b if (op::JCC_BASE..op::JCC_BASE + 10).contains(&b) => {
+            Inst::Jcc(Cond::from_code(b - op::JCC_BASE)?, bytes[1] as i8)
+        }
+        b if (op::JCC32_BASE..op::JCC32_BASE + 10).contains(&b) => {
+            Inst::Jcc32(Cond::from_code(b - op::JCC32_BASE)?, imm32(bytes, 1))
+        }
+        op::JMP_REL8 => Inst::JmpRel8(bytes[1] as i8),
+        op::JMP_REL32 => Inst::JmpRel32(imm32(bytes, 1)),
+        op::CALL_REL32 => Inst::CallRel32(imm32(bytes, 1)),
+        op::JMP_IND => Inst::JmpInd(reg(bytes, 1)?),
+        op::CALL_IND => Inst::CallInd(reg(bytes, 1)?),
+        b if (op::SETCC_BASE..op::SETCC_BASE + 10).contains(&b) => {
+            Inst::Setcc(Cond::from_code(b - op::SETCC_BASE)?, reg(bytes, 1)?)
+        }
+        b if (op::CMOV_BASE..op::CMOV_BASE + 10).contains(&b) => {
+            Inst::Cmov(Cond::from_code(b - op::CMOV_BASE)?, reg(bytes, 1)?, reg(bytes, 2)?)
+        }
+        other => return Err(IsaError::BadOpcode(other)),
+    };
+    Ok(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+
+    #[test]
+    fn roundtrip_every_variant() {
+        for inst in crate::encode::tests::all_sample_insts() {
+            let bytes = encode(&inst);
+            assert_eq!(decode(&bytes).unwrap(), inst, "roundtrip {inst:?}");
+            assert_eq!(decode_len(&bytes).unwrap(), inst.len());
+        }
+    }
+
+    #[test]
+    fn decode_ignores_trailing_bytes() {
+        let mut bytes = encode(&Inst::Nop);
+        bytes.extend_from_slice(&[0xff, 0xff, 0xff]);
+        assert_eq!(decode(&bytes).unwrap(), Inst::Nop);
+    }
+
+    #[test]
+    fn truncated_instructions_are_rejected() {
+        let bytes = encode(&Inst::MovAbs(Reg::R0, u64::MAX));
+        for cut in 1..bytes.len() {
+            let err = decode(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, IsaError::Truncated { .. }),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_input_is_truncated() {
+        assert!(matches!(decode(&[]), Err(IsaError::Truncated { .. })));
+        assert!(matches!(decode_len(&[]), Err(IsaError::Truncated { .. })));
+    }
+
+    #[test]
+    fn unassigned_opcodes_fault() {
+        for opcode in [0x07u8, 0x0f, 0x36, 0x44, 0x5a, 0x6a, 0x75, 0x8a, 0x9a, 0xff] {
+            let err = decode(&[opcode, 0, 0, 0, 0, 0, 0, 0, 0, 0]).unwrap_err();
+            assert_eq!(err, IsaError::BadOpcode(opcode), "opcode {opcode:#x}");
+        }
+    }
+
+    #[test]
+    fn garbage_register_operands_fault() {
+        // MovRr with register index 0x20.
+        let err = decode(&[0x10, 0x20, 0x00]).unwrap_err();
+        assert_eq!(err, IsaError::BadRegister(0x20));
+    }
+
+    #[test]
+    fn bad_wide_nop_lengths_fault() {
+        assert_eq!(decode(&[0x06, 0x01]), Err(IsaError::BadNopLength(1)));
+        assert_eq!(decode(&[0x06, 0x10]), Err(IsaError::BadNopLength(16)));
+    }
+
+    #[test]
+    fn misaligned_decode_behaves_like_x86() {
+        // Decoding from the middle of a movabs interprets the immediate
+        // bytes as an instruction stream — it may succeed with a different
+        // instruction or fault, but must never panic.
+        let bytes = encode(&Inst::MovAbs(Reg::R1, 0x0000_0050_0000_0001));
+        for start in 1..bytes.len() {
+            let _ = decode(&bytes[start..]);
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! Instruction encoding.
+//!
+//! The encoding is fully self-describing: the first byte (plus, for wide
+//! nops, the second) determines the total length, so a decoder can walk raw
+//! memory exactly like an x86 front end. Multi-byte immediates are
+//! little-endian. Unused trailing bytes of fixed-length encodings are
+//! zero-filled padding (ignored on decode), standing in for x86 prefix/modrm
+//! bytes that carry no information in our model.
+
+use crate::inst::Inst;
+
+/// Opcode byte assignments. Shared with the decoder.
+pub(crate) mod op {
+    pub const NOP: u8 = 0x00;
+    pub const RET: u8 = 0x01;
+    pub const HALT: u8 = 0x02;
+    pub const SYSCALL: u8 = 0x03;
+    pub const PUSH: u8 = 0x04;
+    pub const POP: u8 = 0x05;
+    pub const NOPN: u8 = 0x06;
+    pub const MOV_RR: u8 = 0x10;
+    pub const MOV_RI: u8 = 0x11;
+    pub const MOV_ABS: u8 = 0x12;
+    pub const LEA: u8 = 0x13;
+    pub const ADD_RR: u8 = 0x20;
+    pub const SUB_RR: u8 = 0x21;
+    pub const AND_RR: u8 = 0x22;
+    pub const OR_RR: u8 = 0x23;
+    pub const XOR_RR: u8 = 0x24;
+    pub const ADD_RI8: u8 = 0x25;
+    pub const SUB_RI8: u8 = 0x26;
+    pub const AND_RI8: u8 = 0x27;
+    pub const OR_RI8: u8 = 0x28;
+    pub const XOR_RI8: u8 = 0x29;
+    pub const ADD_RI32: u8 = 0x2a;
+    pub const SUB_RI32: u8 = 0x2b;
+    pub const SHL_RI: u8 = 0x2c;
+    pub const SHR_RI: u8 = 0x2d;
+    pub const SAR_RI: u8 = 0x2e;
+    pub const MUL_RR: u8 = 0x2f;
+    pub const CMP_RR: u8 = 0x30;
+    pub const CMP_RI8: u8 = 0x31;
+    pub const CMP_RI32: u8 = 0x32;
+    pub const TEST_RR: u8 = 0x33;
+    pub const NEG: u8 = 0x34;
+    pub const NOT: u8 = 0x35;
+    pub const LOAD: u8 = 0x40;
+    pub const LOAD32: u8 = 0x41;
+    pub const STORE: u8 = 0x42;
+    pub const STORE32: u8 = 0x43;
+    /// `0x50 + cond.code()` for the ten 2-byte conditional branches.
+    pub const JCC_BASE: u8 = 0x50;
+    /// `0x60 + cond.code()` for the ten 6-byte conditional branches.
+    pub const JCC32_BASE: u8 = 0x60;
+    pub const JMP_REL8: u8 = 0x70;
+    pub const JMP_REL32: u8 = 0x71;
+    pub const CALL_REL32: u8 = 0x72;
+    pub const JMP_IND: u8 = 0x73;
+    pub const CALL_IND: u8 = 0x74;
+    /// `0x80 + cond.code()` for the ten 4-byte setcc forms.
+    pub const SETCC_BASE: u8 = 0x80;
+    /// `0x90 + cond.code()` for the ten 4-byte cmov forms.
+    pub const CMOV_BASE: u8 = 0x90;
+}
+
+/// Encodes an instruction into a fresh byte vector.
+///
+/// # Examples
+///
+/// ```
+/// use nv_isa::{encode, decode, Inst};
+///
+/// let bytes = encode(&Inst::JmpRel8(6));
+/// assert_eq!(bytes.len(), 2);
+/// assert_eq!(decode(&bytes).unwrap(), Inst::JmpRel8(6));
+/// ```
+pub fn encode(inst: &Inst) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(inst.len());
+    encode_into(inst, &mut buf);
+    buf
+}
+
+/// Encodes an instruction, appending its bytes to `out`.
+///
+/// Exactly [`Inst::len`] bytes are appended.
+pub fn encode_into(inst: &Inst, out: &mut Vec<u8>) {
+    let start = out.len();
+    match *inst {
+        Inst::Nop => out.push(op::NOP),
+        Inst::Ret => out.push(op::RET),
+        Inst::Halt => out.push(op::HALT),
+        Inst::Syscall(code) => out.extend_from_slice(&[op::SYSCALL, code]),
+        Inst::Push(r) => out.extend_from_slice(&[op::PUSH, r.index()]),
+        Inst::Pop(r) => out.extend_from_slice(&[op::POP, r.index()]),
+        Inst::NopN(n) => {
+            debug_assert!((2..=15).contains(&n), "wide nop length {n} out of range");
+            out.extend_from_slice(&[op::NOPN, n]);
+            out.resize(start + n as usize, 0);
+        }
+        Inst::MovRr(d, s) => out.extend_from_slice(&[op::MOV_RR, d.index(), s.index()]),
+        Inst::MovRi(d, imm) => {
+            out.extend_from_slice(&[op::MOV_RI, d.index()]);
+            out.extend_from_slice(&imm.to_le_bytes());
+            out.push(0);
+        }
+        Inst::MovAbs(d, imm) => {
+            out.extend_from_slice(&[op::MOV_ABS, d.index()]);
+            out.extend_from_slice(&imm.to_le_bytes());
+        }
+        Inst::Lea(d, b, disp) => {
+            out.extend_from_slice(&[op::LEA, d.index(), b.index()]);
+            out.extend_from_slice(&disp.to_le_bytes());
+        }
+        Inst::AddRr(d, s) => out.extend_from_slice(&[op::ADD_RR, d.index(), s.index()]),
+        Inst::SubRr(d, s) => out.extend_from_slice(&[op::SUB_RR, d.index(), s.index()]),
+        Inst::AndRr(d, s) => out.extend_from_slice(&[op::AND_RR, d.index(), s.index()]),
+        Inst::OrRr(d, s) => out.extend_from_slice(&[op::OR_RR, d.index(), s.index()]),
+        Inst::XorRr(d, s) => out.extend_from_slice(&[op::XOR_RR, d.index(), s.index()]),
+        Inst::AddRi8(d, imm) => {
+            out.extend_from_slice(&[op::ADD_RI8, d.index(), imm as u8, 0]);
+        }
+        Inst::SubRi8(d, imm) => {
+            out.extend_from_slice(&[op::SUB_RI8, d.index(), imm as u8, 0]);
+        }
+        Inst::AndRi8(d, imm) => {
+            out.extend_from_slice(&[op::AND_RI8, d.index(), imm as u8, 0]);
+        }
+        Inst::OrRi8(d, imm) => {
+            out.extend_from_slice(&[op::OR_RI8, d.index(), imm as u8, 0]);
+        }
+        Inst::XorRi8(d, imm) => {
+            out.extend_from_slice(&[op::XOR_RI8, d.index(), imm as u8, 0]);
+        }
+        Inst::AddRi32(d, imm) => {
+            out.extend_from_slice(&[op::ADD_RI32, d.index()]);
+            out.extend_from_slice(&imm.to_le_bytes());
+            out.push(0);
+        }
+        Inst::SubRi32(d, imm) => {
+            out.extend_from_slice(&[op::SUB_RI32, d.index()]);
+            out.extend_from_slice(&imm.to_le_bytes());
+            out.push(0);
+        }
+        Inst::ShlRi(d, imm) => out.extend_from_slice(&[op::SHL_RI, d.index(), imm, 0]),
+        Inst::ShrRi(d, imm) => out.extend_from_slice(&[op::SHR_RI, d.index(), imm, 0]),
+        Inst::SarRi(d, imm) => out.extend_from_slice(&[op::SAR_RI, d.index(), imm, 0]),
+        Inst::MulRr(d, s) => out.extend_from_slice(&[op::MUL_RR, d.index(), s.index(), 0]),
+        Inst::CmpRr(a, b) => out.extend_from_slice(&[op::CMP_RR, a.index(), b.index()]),
+        Inst::CmpRi8(a, imm) => {
+            out.extend_from_slice(&[op::CMP_RI8, a.index(), imm as u8, 0]);
+        }
+        Inst::CmpRi32(a, imm) => {
+            out.extend_from_slice(&[op::CMP_RI32, a.index()]);
+            out.extend_from_slice(&imm.to_le_bytes());
+            out.push(0);
+        }
+        Inst::TestRr(a, b) => out.extend_from_slice(&[op::TEST_RR, a.index(), b.index()]),
+        Inst::Neg(r) => out.extend_from_slice(&[op::NEG, r.index(), 0]),
+        Inst::Not(r) => out.extend_from_slice(&[op::NOT, r.index(), 0]),
+        Inst::Load(d, b, disp) => {
+            out.extend_from_slice(&[op::LOAD, d.index(), b.index(), disp as u8]);
+        }
+        Inst::Load32(d, b, disp) => {
+            out.extend_from_slice(&[op::LOAD32, d.index(), b.index()]);
+            out.extend_from_slice(&disp.to_le_bytes());
+        }
+        Inst::Store(b, disp, s) => {
+            out.extend_from_slice(&[op::STORE, b.index(), disp as u8, s.index()]);
+        }
+        Inst::Store32(b, disp, s) => {
+            out.extend_from_slice(&[op::STORE32, b.index(), s.index()]);
+            out.extend_from_slice(&disp.to_le_bytes());
+        }
+        Inst::Jcc(cond, rel) => out.extend_from_slice(&[op::JCC_BASE + cond.code(), rel as u8]),
+        Inst::Jcc32(cond, rel) => {
+            out.push(op::JCC32_BASE + cond.code());
+            out.extend_from_slice(&rel.to_le_bytes());
+            out.push(0);
+        }
+        Inst::JmpRel8(rel) => out.extend_from_slice(&[op::JMP_REL8, rel as u8]),
+        Inst::JmpRel32(rel) => {
+            out.push(op::JMP_REL32);
+            out.extend_from_slice(&rel.to_le_bytes());
+        }
+        Inst::CallRel32(rel) => {
+            out.push(op::CALL_REL32);
+            out.extend_from_slice(&rel.to_le_bytes());
+        }
+        Inst::JmpInd(r) => out.extend_from_slice(&[op::JMP_IND, r.index(), 0]),
+        Inst::CallInd(r) => out.extend_from_slice(&[op::CALL_IND, r.index(), 0]),
+        Inst::Setcc(cond, r) => {
+            out.extend_from_slice(&[op::SETCC_BASE + cond.code(), r.index(), 0, 0]);
+        }
+        Inst::Cmov(cond, d, s) => {
+            out.extend_from_slice(&[op::CMOV_BASE + cond.code(), d.index(), s.index(), 0]);
+        }
+    }
+    debug_assert_eq!(
+        out.len() - start,
+        inst.len(),
+        "encoded length mismatch for {inst:?}"
+    );
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::{Cond, Reg};
+
+    #[test]
+    fn encoded_length_matches_len_for_every_variant() {
+        let samples = all_sample_insts();
+        for inst in samples {
+            assert_eq!(encode(&inst).len(), inst.len(), "{inst:?}");
+        }
+    }
+
+    #[test]
+    fn immediates_are_little_endian() {
+        let bytes = encode(&Inst::MovRi(Reg::R1, 0x0403_0201));
+        assert_eq!(&bytes[2..6], &[0x01, 0x02, 0x03, 0x04]);
+        let bytes = encode(&Inst::MovAbs(Reg::R1, 0x0807_0605_0403_0201));
+        assert_eq!(&bytes[2..10], &[1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn jcc_opcode_carries_condition() {
+        for cond in Cond::all() {
+            let bytes = encode(&Inst::Jcc(cond, -2));
+            assert_eq!(bytes[0], op::JCC_BASE + cond.code());
+            assert_eq!(bytes[1], (-2i8) as u8);
+        }
+    }
+
+    #[test]
+    fn wide_nop_is_length_padded() {
+        for n in 2u8..=15 {
+            let bytes = encode(&Inst::NopN(n));
+            assert_eq!(bytes.len(), n as usize);
+            assert_eq!(bytes[0], op::NOPN);
+            assert_eq!(bytes[1], n);
+        }
+    }
+
+    /// One instance of every instruction variant, used by round-trip tests.
+    pub(crate) fn all_sample_insts() -> Vec<Inst> {
+        use Inst::*;
+        let r = Reg::R3;
+        let s = Reg::R11;
+        vec![
+            Nop,
+            NopN(2),
+            NopN(9),
+            NopN(15),
+            Ret,
+            Halt,
+            Syscall(7),
+            Push(r),
+            Pop(s),
+            MovRr(r, s),
+            MovRi(r, -12345),
+            MovAbs(r, 0xdead_beef_cafe_f00d),
+            Lea(r, s, -64),
+            AddRr(r, s),
+            SubRr(r, s),
+            AndRr(r, s),
+            OrRr(r, s),
+            XorRr(r, s),
+            AddRi8(r, -3),
+            SubRi8(r, 5),
+            AndRi8(r, 0x7f),
+            OrRi8(r, 1),
+            XorRi8(r, -1),
+            AddRi32(r, 1 << 20),
+            SubRi32(r, -(1 << 20)),
+            ShlRi(r, 63),
+            ShrRi(r, 1),
+            SarRi(r, 31),
+            MulRr(r, s),
+            Neg(r),
+            Not(s),
+            CmpRr(r, s),
+            CmpRi8(r, 0),
+            CmpRi32(r, i32::MIN),
+            TestRr(r, r),
+            Load(r, s, -8),
+            Load32(r, s, 4096),
+            Store(s, 16, r),
+            Store32(s, -4096, r),
+            Jcc(Cond::Eq, 10),
+            Jcc(Cond::Ae, -10),
+            Jcc32(Cond::Ne, 1 << 16),
+            JmpRel8(-2),
+            JmpRel32(12345),
+            CallRel32(-12345),
+            JmpInd(r),
+            CallInd(s),
+            Setcc(Cond::B, r),
+            Cmov(Cond::Ge, r, s),
+        ]
+    }
+}

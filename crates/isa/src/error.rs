@@ -1,0 +1,139 @@
+//! Error type for ISA-level operations.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::VirtAddr;
+
+/// Errors produced by encoding, decoding and assembling instructions.
+///
+/// Decode errors are *normal events* in this system: the simulated front end
+/// decodes raw bytes, and a BTB false hit can direct it into the middle of
+/// an instruction where the byte stream is garbage — exactly like a real
+/// x86 decoder (§2.2 of the paper).
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum IsaError {
+    /// An opcode byte that does not map to any instruction.
+    BadOpcode(u8),
+    /// A register index outside `0..16`.
+    BadRegister(u8),
+    /// A condition code outside `0..10`.
+    BadCondition(u8),
+    /// Fewer bytes available than the instruction's encoded length.
+    Truncated {
+        /// The opcode byte that announced the instruction.
+        opcode: u8,
+        /// Bytes the encoding requires.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// A wide-nop length outside `2..=15`.
+    BadNopLength(u8),
+    /// An assembler label that was referenced but never defined.
+    UndefinedLabel(String),
+    /// An assembler label defined twice.
+    DuplicateLabel(String),
+    /// A branch displacement too large for its encoding.
+    DisplacementOverflow {
+        /// Source address of the branch.
+        from: VirtAddr,
+        /// Requested target address.
+        to: VirtAddr,
+        /// Width of the displacement field in bits.
+        width: u32,
+    },
+    /// `.org` directive tried to move the cursor backwards over emitted code.
+    OrgBackwards {
+        /// Current cursor.
+        cursor: VirtAddr,
+        /// Requested origin.
+        requested: VirtAddr,
+    },
+    /// Two program segments overlap.
+    OverlappingSegments {
+        /// Address where the overlap was detected.
+        at: VirtAddr,
+    },
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::BadOpcode(op) => write!(f, "invalid opcode byte {op:#04x}"),
+            IsaError::BadRegister(idx) => write!(f, "invalid register index {idx}"),
+            IsaError::BadCondition(code) => write!(f, "invalid condition code {code}"),
+            IsaError::Truncated {
+                opcode,
+                needed,
+                available,
+            } => write!(
+                f,
+                "truncated instruction: opcode {opcode:#04x} needs {needed} bytes, {available} available"
+            ),
+            IsaError::BadNopLength(len) => write!(f, "wide nop length {len} outside 2..=15"),
+            IsaError::UndefinedLabel(name) => write!(f, "undefined label `{name}`"),
+            IsaError::DuplicateLabel(name) => write!(f, "duplicate label `{name}`"),
+            IsaError::DisplacementOverflow { from, to, width } => write!(
+                f,
+                "displacement from {from} to {to} does not fit in {width} bits"
+            ),
+            IsaError::OrgBackwards { cursor, requested } => write!(
+                f,
+                "org directive moves backwards: cursor at {cursor}, requested {requested}"
+            ),
+            IsaError::OverlappingSegments { at } => {
+                write!(f, "program segments overlap at {at}")
+            }
+        }
+    }
+}
+
+impl Error for IsaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_informative() {
+        let samples: Vec<IsaError> = vec![
+            IsaError::BadOpcode(0xff),
+            IsaError::BadRegister(99),
+            IsaError::BadCondition(12),
+            IsaError::Truncated {
+                opcode: 0x12,
+                needed: 10,
+                available: 3,
+            },
+            IsaError::BadNopLength(1),
+            IsaError::UndefinedLabel("loop_top".into()),
+            IsaError::DuplicateLabel("entry".into()),
+            IsaError::DisplacementOverflow {
+                from: VirtAddr::new(0),
+                to: VirtAddr::new(1 << 40),
+                width: 8,
+            },
+            IsaError::OrgBackwards {
+                cursor: VirtAddr::new(0x20),
+                requested: VirtAddr::new(0x10),
+            },
+            IsaError::OverlappingSegments {
+                at: VirtAddr::new(0x100),
+            },
+        ];
+        for err in samples {
+            let msg = err.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<IsaError>();
+    }
+}

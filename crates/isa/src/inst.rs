@@ -1,0 +1,496 @@
+//! The instruction set: variants, classification, lengths and targets.
+//!
+//! Encoded lengths deliberately mirror x86-64: a plain `nop` or `ret` is one
+//! byte, a short conditional branch is two, register-register ALU ops are
+//! three, immediate forms grow to four or seven, and `movabs` is ten. The
+//! coupling between *semantics* and *length* is what gives PC traces their
+//! fingerprinting entropy (§6.4 of the paper).
+
+use std::fmt;
+
+use crate::{Cond, Reg, VirtAddr};
+
+/// Maximum encoded length of any instruction, in bytes (like x86's 15).
+pub const MAX_INST_BYTES: usize = 15;
+
+/// A decoded machine instruction.
+///
+/// Relative branch displacements (`rel8`/`rel32`) are measured from the end
+/// of the instruction, exactly like x86.
+///
+/// # Examples
+///
+/// ```
+/// use nv_isa::{Inst, InstKind, Reg, VirtAddr};
+///
+/// let jmp = Inst::JmpRel8(6);
+/// assert_eq!(jmp.len(), 2);
+/// assert_eq!(jmp.kind(), InstKind::DirectJump);
+/// // A 2-byte jump at 0x100 with rel8 = 6 lands at 0x108.
+/// assert_eq!(jmp.direct_target(VirtAddr::new(0x100)), Some(VirtAddr::new(0x108)));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Inst {
+    /// One-byte no-operation.
+    Nop,
+    /// Multi-byte no-operation; the operand is the *total* encoded length
+    /// (`2..=15`), mirroring x86's long-nop family used for padding.
+    NopN(u8),
+    /// Return: pops the return address from the stack and jumps to it.
+    Ret,
+    /// Stops the machine.
+    Halt,
+    /// Environment call; the operand selects the service (e.g. yield).
+    Syscall(u8),
+    /// Push a register onto the stack.
+    Push(Reg),
+    /// Pop from the stack into a register.
+    Pop(Reg),
+    /// `dst = src`.
+    MovRr(Reg, Reg),
+    /// `dst = imm` (sign-extended 32-bit immediate).
+    MovRi(Reg, i32),
+    /// `dst = imm` (full 64-bit immediate, the 10-byte `movabs`).
+    MovAbs(Reg, u64),
+    /// `dst = base + disp` (address arithmetic, no memory access).
+    Lea(Reg, Reg, i32),
+    /// `dst += src`.
+    AddRr(Reg, Reg),
+    /// `dst -= src`.
+    SubRr(Reg, Reg),
+    /// `dst &= src`.
+    AndRr(Reg, Reg),
+    /// `dst |= src`.
+    OrRr(Reg, Reg),
+    /// `dst ^= src`.
+    XorRr(Reg, Reg),
+    /// `dst += imm8`.
+    AddRi8(Reg, i8),
+    /// `dst -= imm8`.
+    SubRi8(Reg, i8),
+    /// `dst &= imm8` (sign-extended).
+    AndRi8(Reg, i8),
+    /// `dst |= imm8` (sign-extended).
+    OrRi8(Reg, i8),
+    /// `dst ^= imm8` (sign-extended).
+    XorRi8(Reg, i8),
+    /// `dst += imm32`.
+    AddRi32(Reg, i32),
+    /// `dst -= imm32`.
+    SubRi32(Reg, i32),
+    /// `dst <<= imm` (logical).
+    ShlRi(Reg, u8),
+    /// `dst >>= imm` (logical).
+    ShrRi(Reg, u8),
+    /// `dst >>= imm` (arithmetic).
+    SarRi(Reg, u8),
+    /// `dst *= src` (wrapping).
+    MulRr(Reg, Reg),
+    /// Two's-complement negation.
+    Neg(Reg),
+    /// Bitwise complement.
+    Not(Reg),
+    /// Compare: sets flags from `a - b`.
+    CmpRr(Reg, Reg),
+    /// Compare against a sign-extended 8-bit immediate.
+    CmpRi8(Reg, i8),
+    /// Compare against a sign-extended 32-bit immediate.
+    CmpRi32(Reg, i32),
+    /// Test: sets flags from `a & b`.
+    TestRr(Reg, Reg),
+    /// `dst = mem[base + disp8]`.
+    Load(Reg, Reg, i8),
+    /// `dst = mem[base + disp32]`.
+    Load32(Reg, Reg, i32),
+    /// `mem[base + disp8] = src`.
+    Store(Reg, i8, Reg),
+    /// `mem[base + disp32] = src`.
+    Store32(Reg, i32, Reg),
+    /// Conditional branch with an 8-bit displacement (2 bytes, like x86
+    /// `jcc rel8` — the shortest control transfer in the ISA).
+    Jcc(Cond, i8),
+    /// Conditional branch with a 32-bit displacement (6 bytes).
+    Jcc32(Cond, i32),
+    /// Unconditional direct jump, 8-bit displacement (2 bytes — the jump
+    /// used at the end of every NightVision prediction-window snippet).
+    JmpRel8(i8),
+    /// Unconditional direct jump, 32-bit displacement (5 bytes).
+    JmpRel32(i32),
+    /// Direct call, 32-bit displacement (5 bytes); pushes the return
+    /// address.
+    CallRel32(i32),
+    /// Indirect jump through a register (3 bytes).
+    JmpInd(Reg),
+    /// Indirect call through a register (3 bytes).
+    CallInd(Reg),
+    /// Sets `dst` to 1 if the condition holds, else 0 (like x86 `setcc`).
+    Setcc(Cond, Reg),
+    /// Conditional move: `dst = src` iff the condition holds (like x86
+    /// `cmov` — the building block of data-oblivious code, §8.2).
+    Cmov(Cond, Reg, Reg),
+}
+
+/// Control-flow classification of an instruction.
+///
+/// The BTB treats these classes differently: IBRS/IBPB barriers flush only
+/// `IndirectJump`/`IndirectCall` entries (§4.1), while returns use the RSB
+/// and all taken transfers allocate BTB entries.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum InstKind {
+    /// Not a control transfer (the instructions Takeaway 1 is about).
+    NonTransfer,
+    /// Conditional direct branch.
+    CondBranch,
+    /// Unconditional direct jump.
+    DirectJump,
+    /// Direct call.
+    DirectCall,
+    /// Indirect jump through a register.
+    IndirectJump,
+    /// Indirect call through a register.
+    IndirectCall,
+    /// Return.
+    Ret,
+}
+
+impl InstKind {
+    /// `true` for every class except [`InstKind::NonTransfer`].
+    pub const fn is_control_transfer(self) -> bool {
+        !matches!(self, InstKind::NonTransfer)
+    }
+
+    /// `true` for the classes covered by Intel's IBRS/IBPB mitigations
+    /// (indirect jumps and calls only — §4.1 of the paper).
+    pub const fn is_indirect(self) -> bool {
+        matches!(self, InstKind::IndirectJump | InstKind::IndirectCall)
+    }
+
+    /// `true` for unconditionally-taken transfers.
+    pub const fn is_unconditional(self) -> bool {
+        matches!(
+            self,
+            InstKind::DirectJump
+                | InstKind::DirectCall
+                | InstKind::IndirectJump
+                | InstKind::IndirectCall
+                | InstKind::Ret
+        )
+    }
+}
+
+impl Inst {
+    /// Encoded length in bytes.
+    pub const fn len(&self) -> usize {
+        match self {
+            Inst::Nop | Inst::Ret | Inst::Halt => 1,
+            Inst::NopN(n) => *n as usize,
+            Inst::Syscall(_) | Inst::Push(_) | Inst::Pop(_) => 2,
+            Inst::MovRr(..)
+            | Inst::AddRr(..)
+            | Inst::SubRr(..)
+            | Inst::AndRr(..)
+            | Inst::OrRr(..)
+            | Inst::XorRr(..)
+            | Inst::CmpRr(..)
+            | Inst::TestRr(..)
+            | Inst::Neg(_)
+            | Inst::Not(_)
+            | Inst::JmpInd(_)
+            | Inst::CallInd(_) => 3,
+            Inst::AddRi8(..)
+            | Inst::SubRi8(..)
+            | Inst::AndRi8(..)
+            | Inst::OrRi8(..)
+            | Inst::XorRi8(..)
+            | Inst::ShlRi(..)
+            | Inst::ShrRi(..)
+            | Inst::SarRi(..)
+            | Inst::CmpRi8(..)
+            | Inst::MulRr(..)
+            | Inst::Load(..)
+            | Inst::Store(..)
+            | Inst::Setcc(..)
+            | Inst::Cmov(..) => 4,
+            Inst::MovRi(..)
+            | Inst::Lea(..)
+            | Inst::AddRi32(..)
+            | Inst::SubRi32(..)
+            | Inst::CmpRi32(..)
+            | Inst::Load32(..)
+            | Inst::Store32(..) => 7,
+            Inst::MovAbs(..) => 10,
+            Inst::Jcc(..) | Inst::JmpRel8(_) => 2,
+            Inst::Jcc32(..) => 6,
+            Inst::JmpRel32(_) | Inst::CallRel32(_) => 5,
+        }
+    }
+
+    /// `false` — instructions always occupy at least one byte. Present for
+    /// API symmetry with `len` (clippy's `len_without_is_empty`).
+    pub const fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Control-flow classification.
+    pub const fn kind(&self) -> InstKind {
+        match self {
+            Inst::Jcc(..) | Inst::Jcc32(..) => InstKind::CondBranch,
+            Inst::JmpRel8(_) | Inst::JmpRel32(_) => InstKind::DirectJump,
+            Inst::CallRel32(_) => InstKind::DirectCall,
+            Inst::JmpInd(_) => InstKind::IndirectJump,
+            Inst::CallInd(_) => InstKind::IndirectCall,
+            Inst::Ret => InstKind::Ret,
+            _ => InstKind::NonTransfer,
+        }
+    }
+
+    /// Convenience: `self.kind().is_control_transfer()`.
+    pub const fn is_control_transfer(&self) -> bool {
+        self.kind().is_control_transfer()
+    }
+
+    /// Target of a *direct* transfer located at `pc`, or `None` for
+    /// non-transfers, indirect transfers and returns.
+    ///
+    /// Displacements are relative to the end of the instruction, so the
+    /// target is `pc + len + rel`.
+    pub fn direct_target(&self, pc: VirtAddr) -> Option<VirtAddr> {
+        let rel: i64 = match self {
+            Inst::Jcc(_, rel) | Inst::JmpRel8(rel) => *rel as i64,
+            Inst::Jcc32(_, rel) | Inst::JmpRel32(rel) | Inst::CallRel32(rel) => *rel as i64,
+            _ => return None,
+        };
+        Some(pc.offset(self.len() as u64).offset_signed(rel))
+    }
+
+    /// `true` if executing the instruction reads or writes data memory.
+    ///
+    /// Calls, returns, pushes and pops touch the stack; this is the signal
+    /// NightVision's trace slicer uses (together with >16-byte PC jumps) to
+    /// recognise call/ret boundaries through the controlled channel (§6.4).
+    pub const fn touches_data_memory(&self) -> bool {
+        matches!(
+            self,
+            Inst::Push(_)
+                | Inst::Pop(_)
+                | Inst::Load(..)
+                | Inst::Load32(..)
+                | Inst::Store(..)
+                | Inst::Store32(..)
+                | Inst::CallRel32(_)
+                | Inst::CallInd(_)
+                | Inst::Ret
+        )
+    }
+
+    /// `true` if the instruction *writes* data memory.
+    pub const fn writes_data_memory(&self) -> bool {
+        matches!(
+            self,
+            Inst::Push(_) | Inst::Store(..) | Inst::Store32(..) | Inst::CallRel32(_) | Inst::CallInd(_)
+        )
+    }
+
+    /// `true` if this instruction can be the leading half of a macro-fused
+    /// pair (a flag-setting compare/test immediately followed by a
+    /// conditional branch, like x86 `cmp+jcc` fusion — §7.3).
+    pub const fn is_fusible_flag_setter(&self) -> bool {
+        matches!(
+            self,
+            Inst::CmpRr(..) | Inst::CmpRi8(..) | Inst::CmpRi32(..) | Inst::TestRr(..)
+        )
+    }
+
+    /// Short mnemonic for disassembly listings.
+    pub const fn mnemonic(&self) -> &'static str {
+        match self {
+            Inst::Nop | Inst::NopN(_) => "nop",
+            Inst::Ret => "ret",
+            Inst::Halt => "hlt",
+            Inst::Syscall(_) => "syscall",
+            Inst::Push(_) => "push",
+            Inst::Pop(_) => "pop",
+            Inst::MovRr(..) | Inst::MovRi(..) => "mov",
+            Inst::MovAbs(..) => "movabs",
+            Inst::Lea(..) => "lea",
+            Inst::AddRr(..) | Inst::AddRi8(..) | Inst::AddRi32(..) => "add",
+            Inst::SubRr(..) | Inst::SubRi8(..) | Inst::SubRi32(..) => "sub",
+            Inst::AndRr(..) | Inst::AndRi8(..) => "and",
+            Inst::OrRr(..) | Inst::OrRi8(..) => "or",
+            Inst::XorRr(..) | Inst::XorRi8(..) => "xor",
+            Inst::ShlRi(..) => "shl",
+            Inst::ShrRi(..) => "shr",
+            Inst::SarRi(..) => "sar",
+            Inst::MulRr(..) => "mul",
+            Inst::Neg(_) => "neg",
+            Inst::Not(_) => "not",
+            Inst::CmpRr(..) | Inst::CmpRi8(..) | Inst::CmpRi32(..) => "cmp",
+            Inst::TestRr(..) => "test",
+            Inst::Load(..) | Inst::Load32(..) => "ld",
+            Inst::Store(..) | Inst::Store32(..) => "st",
+            Inst::Jcc(..) | Inst::Jcc32(..) => "jcc",
+            Inst::JmpRel8(_) | Inst::JmpRel32(_) => "jmp",
+            Inst::CallRel32(_) => "call",
+            Inst::JmpInd(_) => "jmp*",
+            Inst::CallInd(_) => "call*",
+            Inst::Setcc(..) => "setcc",
+            Inst::Cmov(..) => "cmov",
+        }
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::Nop => write!(f, "nop"),
+            Inst::NopN(n) => write!(f, "nop{n}"),
+            Inst::Ret => write!(f, "ret"),
+            Inst::Halt => write!(f, "hlt"),
+            Inst::Syscall(code) => write!(f, "syscall {code}"),
+            Inst::Push(r) => write!(f, "push {r}"),
+            Inst::Pop(r) => write!(f, "pop {r}"),
+            Inst::MovRr(d, s) => write!(f, "mov {d}, {s}"),
+            Inst::MovRi(d, imm) => write!(f, "mov {d}, {imm}"),
+            Inst::MovAbs(d, imm) => write!(f, "movabs {d}, {imm:#x}"),
+            Inst::Lea(d, b, disp) => write!(f, "lea {d}, [{b}{disp:+}]"),
+            Inst::AddRr(d, s) => write!(f, "add {d}, {s}"),
+            Inst::SubRr(d, s) => write!(f, "sub {d}, {s}"),
+            Inst::AndRr(d, s) => write!(f, "and {d}, {s}"),
+            Inst::OrRr(d, s) => write!(f, "or {d}, {s}"),
+            Inst::XorRr(d, s) => write!(f, "xor {d}, {s}"),
+            Inst::AddRi8(d, imm) => write!(f, "add {d}, {imm}"),
+            Inst::SubRi8(d, imm) => write!(f, "sub {d}, {imm}"),
+            Inst::AndRi8(d, imm) => write!(f, "and {d}, {imm}"),
+            Inst::OrRi8(d, imm) => write!(f, "or {d}, {imm}"),
+            Inst::XorRi8(d, imm) => write!(f, "xor {d}, {imm}"),
+            Inst::AddRi32(d, imm) => write!(f, "add {d}, {imm}"),
+            Inst::SubRi32(d, imm) => write!(f, "sub {d}, {imm}"),
+            Inst::ShlRi(d, imm) => write!(f, "shl {d}, {imm}"),
+            Inst::ShrRi(d, imm) => write!(f, "shr {d}, {imm}"),
+            Inst::SarRi(d, imm) => write!(f, "sar {d}, {imm}"),
+            Inst::MulRr(d, s) => write!(f, "mul {d}, {s}"),
+            Inst::Neg(r) => write!(f, "neg {r}"),
+            Inst::Not(r) => write!(f, "not {r}"),
+            Inst::CmpRr(a, b) => write!(f, "cmp {a}, {b}"),
+            Inst::CmpRi8(a, imm) => write!(f, "cmp {a}, {imm}"),
+            Inst::CmpRi32(a, imm) => write!(f, "cmp {a}, {imm}"),
+            Inst::TestRr(a, b) => write!(f, "test {a}, {b}"),
+            Inst::Load(d, b, disp) => write!(f, "ld {d}, [{b}{disp:+}]"),
+            Inst::Load32(d, b, disp) => write!(f, "ld {d}, [{b}{disp:+}]"),
+            Inst::Store(b, disp, s) => write!(f, "st [{b}{disp:+}], {s}"),
+            Inst::Store32(b, disp, s) => write!(f, "st [{b}{disp:+}], {s}"),
+            Inst::Jcc(c, rel) => write!(f, "j{c} {rel:+}"),
+            Inst::Jcc32(c, rel) => write!(f, "j{c} {rel:+}"),
+            Inst::JmpRel8(rel) => write!(f, "jmp {rel:+}"),
+            Inst::JmpRel32(rel) => write!(f, "jmp {rel:+}"),
+            Inst::CallRel32(rel) => write!(f, "call {rel:+}"),
+            Inst::JmpInd(r) => write!(f, "jmp *{r}"),
+            Inst::CallInd(r) => write!(f, "call *{r}"),
+            Inst::Setcc(c, r) => write!(f, "set{c} {r}"),
+            Inst::Cmov(c, d, s) => write!(f, "cmov{c} {d}, {s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_mirror_x86() {
+        assert_eq!(Inst::Nop.len(), 1);
+        assert_eq!(Inst::Ret.len(), 1);
+        assert_eq!(Inst::JmpRel8(0).len(), 2);
+        assert_eq!(Inst::Jcc(Cond::Eq, 0).len(), 2);
+        assert_eq!(Inst::AddRr(Reg::R0, Reg::R1).len(), 3);
+        assert_eq!(Inst::CmpRi8(Reg::R0, 0).len(), 4);
+        assert_eq!(Inst::JmpRel32(0).len(), 5);
+        assert_eq!(Inst::CallRel32(0).len(), 5);
+        assert_eq!(Inst::Jcc32(Cond::Ne, 0).len(), 6);
+        assert_eq!(Inst::MovRi(Reg::R0, 0).len(), 7);
+        assert_eq!(Inst::MovAbs(Reg::R0, 0).len(), 10);
+        assert_eq!(Inst::NopN(15).len(), 15);
+    }
+
+    #[test]
+    fn kinds() {
+        assert_eq!(Inst::Nop.kind(), InstKind::NonTransfer);
+        assert_eq!(Inst::MulRr(Reg::R0, Reg::R1).kind(), InstKind::NonTransfer);
+        assert_eq!(Inst::Jcc(Cond::Eq, 4).kind(), InstKind::CondBranch);
+        assert_eq!(Inst::JmpRel8(4).kind(), InstKind::DirectJump);
+        assert_eq!(Inst::CallRel32(4).kind(), InstKind::DirectCall);
+        assert_eq!(Inst::JmpInd(Reg::R0).kind(), InstKind::IndirectJump);
+        assert_eq!(Inst::CallInd(Reg::R0).kind(), InstKind::IndirectCall);
+        assert_eq!(Inst::Ret.kind(), InstKind::Ret);
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(!InstKind::NonTransfer.is_control_transfer());
+        assert!(InstKind::Ret.is_control_transfer());
+        assert!(InstKind::IndirectJump.is_indirect());
+        assert!(!InstKind::DirectJump.is_indirect());
+        assert!(InstKind::DirectJump.is_unconditional());
+        assert!(!InstKind::CondBranch.is_unconditional());
+    }
+
+    #[test]
+    fn direct_targets() {
+        let pc = VirtAddr::new(0x1000);
+        // jmp rel8: target = pc + 2 + rel
+        assert_eq!(
+            Inst::JmpRel8(0x10).direct_target(pc),
+            Some(VirtAddr::new(0x1012))
+        );
+        assert_eq!(
+            Inst::JmpRel8(-2).direct_target(pc),
+            Some(VirtAddr::new(0x1000))
+        );
+        // call rel32: target = pc + 5 + rel
+        assert_eq!(
+            Inst::CallRel32(-5).direct_target(pc),
+            Some(VirtAddr::new(0x1000))
+        );
+        assert_eq!(Inst::Ret.direct_target(pc), None);
+        assert_eq!(Inst::JmpInd(Reg::R0).direct_target(pc), None);
+        assert_eq!(Inst::Nop.direct_target(pc), None);
+    }
+
+    #[test]
+    fn memory_access_classification() {
+        assert!(Inst::Push(Reg::R0).touches_data_memory());
+        assert!(Inst::Ret.touches_data_memory());
+        assert!(Inst::CallRel32(0).touches_data_memory());
+        assert!(Inst::Load(Reg::R0, Reg::R1, 0).touches_data_memory());
+        assert!(!Inst::AddRr(Reg::R0, Reg::R1).touches_data_memory());
+        assert!(!Inst::JmpRel8(0).touches_data_memory());
+
+        assert!(Inst::Store(Reg::R0, 0, Reg::R1).writes_data_memory());
+        assert!(!Inst::Load(Reg::R0, Reg::R1, 0).writes_data_memory());
+    }
+
+    #[test]
+    fn fusion_candidates() {
+        assert!(Inst::CmpRr(Reg::R0, Reg::R1).is_fusible_flag_setter());
+        assert!(Inst::TestRr(Reg::R0, Reg::R0).is_fusible_flag_setter());
+        assert!(!Inst::AddRr(Reg::R0, Reg::R1).is_fusible_flag_setter());
+        assert!(!Inst::Jcc(Cond::Eq, 0).is_fusible_flag_setter());
+    }
+
+    #[test]
+    fn display_is_never_empty() {
+        let samples = [
+            Inst::Nop,
+            Inst::NopN(5),
+            Inst::Syscall(1),
+            Inst::MovAbs(Reg::R2, 0xdead_beef),
+            Inst::Lea(Reg::R1, Reg::R2, -8),
+            Inst::Jcc(Cond::Ne, -4),
+            Inst::Store32(Reg::R15, 64, Reg::R3),
+        ];
+        for inst in samples {
+            assert!(!inst.to_string().is_empty());
+            assert!(!inst.mnemonic().is_empty());
+        }
+    }
+}

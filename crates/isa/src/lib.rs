@@ -1,0 +1,60 @@
+//! # nv-isa — the instruction set substrate of the NightVision reproduction
+//!
+//! NightVision (ISCA '23) extracts *byte-granular* program counters and
+//! fingerprints functions through the entropy of **variable-length
+//! instruction encodings**. Reproducing the paper therefore requires an ISA
+//! in which, like x86, the byte length of an instruction is a function of its
+//! opcode and addressing mode. This crate provides that ISA:
+//!
+//! * [`VirtAddr`] — 64-bit virtual addresses with the block/page arithmetic
+//!   the BTB and the attack rely on (32-byte prediction-window blocks,
+//!   4 KiB pages, low-bit truncation at the BTB tag cutoff);
+//! * [`Reg`], [`Cond`], [`Inst`], [`InstKind`] — a ~50-opcode register
+//!   machine whose encodings span 1–10 bytes;
+//! * [`encode`]/[`decode`] — a fully self-describing byte encoding, so the
+//!   simulated front end can decode from raw memory exactly like a real
+//!   decoder (including misinterpreting mid-instruction bytes);
+//! * [`Assembler`] — label-based assembler with `.org`/`.align` directives
+//!   used to pin code at the paper's exact address layouts;
+//! * [`Program`] — a sparse code image with symbols and ground-truth
+//!   instruction boundaries.
+//!
+//! ## Example
+//!
+//! ```
+//! use nv_isa::{Assembler, VirtAddr, Reg};
+//!
+//! # fn main() -> Result<(), nv_isa::IsaError> {
+//! let mut asm = Assembler::new(VirtAddr::new(0x40_0000));
+//! asm.label("entry");
+//! asm.mov_ri(Reg::R0, 41);
+//! asm.add_ri8(Reg::R0, 1);
+//! asm.ret();
+//! let program = asm.finish()?;
+//! assert_eq!(program.symbol("entry"), Some(VirtAddr::new(0x40_0000)));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod addr;
+mod asm;
+mod cond;
+mod decode;
+mod encode;
+mod error;
+mod inst;
+mod program;
+mod reg;
+
+pub use addr::{VirtAddr, BLOCK_BYTES, PAGE_BYTES};
+pub use asm::Assembler;
+pub use cond::{Cond, Flags};
+pub use decode::{decode, decode_len};
+pub use encode::{encode, encode_into};
+pub use error::IsaError;
+pub use inst::{Inst, InstKind, MAX_INST_BYTES};
+pub use program::{Program, Segment};
+pub use reg::Reg;

@@ -1,0 +1,154 @@
+//! General-purpose registers of the modelled machine.
+
+use std::fmt;
+
+use crate::IsaError;
+
+/// Number of general-purpose registers.
+pub(crate) const NUM_REGS: usize = 16;
+
+/// A general-purpose 64-bit register, `R0`–`R15`.
+///
+/// Conventions used by the victim programs and the attack snippets (they are
+/// conventions only — nothing in the ISA enforces them):
+///
+/// * `R0` — return value / syscall number (like x86 `rax`);
+/// * `R1`–`R5` — argument registers;
+/// * `R14` — frame pointer; `R15` — stack pointer.
+///
+/// # Examples
+///
+/// ```
+/// use nv_isa::Reg;
+///
+/// assert_eq!(Reg::R3.index(), 3);
+/// assert_eq!(Reg::from_index(3).unwrap(), Reg::R3);
+/// assert_eq!(Reg::R3.to_string(), "r3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum Reg {
+    R0,
+    R1,
+    R2,
+    R3,
+    R4,
+    R5,
+    R6,
+    R7,
+    R8,
+    R9,
+    R10,
+    R11,
+    R12,
+    R13,
+    R14,
+    R15,
+}
+
+/// All registers in index order, for iteration.
+pub(crate) const ALL_REGS: [Reg; NUM_REGS] = [
+    Reg::R0,
+    Reg::R1,
+    Reg::R2,
+    Reg::R3,
+    Reg::R4,
+    Reg::R5,
+    Reg::R6,
+    Reg::R7,
+    Reg::R8,
+    Reg::R9,
+    Reg::R10,
+    Reg::R11,
+    Reg::R12,
+    Reg::R13,
+    Reg::R14,
+    Reg::R15,
+];
+
+impl Reg {
+    /// The stack-pointer register by convention.
+    pub const SP: Reg = Reg::R15;
+
+    /// The frame-pointer register by convention.
+    pub const FP: Reg = Reg::R14;
+
+    /// Numeric index of the register (`0..16`).
+    pub const fn index(self) -> u8 {
+        self as u8
+    }
+
+    /// Recovers a register from its numeric index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::BadRegister`] if `index >= 16`. This is the error
+    /// path the decoder takes when raw bytes are misinterpreted as a register
+    /// operand.
+    pub fn from_index(index: u8) -> Result<Reg, IsaError> {
+        ALL_REGS
+            .get(index as usize)
+            .copied()
+            .ok_or(IsaError::BadRegister(index))
+    }
+
+    /// Iterator over all sixteen registers in index order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        ALL_REGS.into_iter()
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.index())
+    }
+}
+
+impl From<Reg> for u8 {
+    fn from(reg: Reg) -> u8 {
+        reg.index()
+    }
+}
+
+impl TryFrom<u8> for Reg {
+    type Error = IsaError;
+
+    fn try_from(value: u8) -> Result<Self, Self::Error> {
+        Reg::from_index(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for reg in Reg::all() {
+            assert_eq!(Reg::from_index(reg.index()).unwrap(), reg);
+        }
+    }
+
+    #[test]
+    fn bad_index_is_an_error() {
+        assert!(matches!(Reg::from_index(16), Err(IsaError::BadRegister(16))));
+        assert!(matches!(Reg::from_index(255), Err(IsaError::BadRegister(255))));
+    }
+
+    #[test]
+    fn conventions() {
+        assert_eq!(Reg::SP, Reg::R15);
+        assert_eq!(Reg::FP, Reg::R14);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Reg::R0.to_string(), "r0");
+        assert_eq!(Reg::R15.to_string(), "r15");
+    }
+
+    #[test]
+    fn all_covers_sixteen() {
+        assert_eq!(Reg::all().count(), 16);
+    }
+}

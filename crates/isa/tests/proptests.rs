@@ -1,0 +1,134 @@
+//! Property-based tests for the ISA: encode/decode round-trips, sequential
+//! decode of assembled programs, and address arithmetic invariants.
+
+use nv_isa::{decode, decode_len, encode, Assembler, Cond, Inst, Reg, VirtAddr};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..16).prop_map(|i| Reg::from_index(i).unwrap())
+}
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    (0u8..10).prop_map(|c| Cond::from_code(c).unwrap())
+}
+
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        Just(Inst::Nop),
+        (2u8..=15).prop_map(Inst::NopN),
+        Just(Inst::Ret),
+        Just(Inst::Halt),
+        any::<u8>().prop_map(Inst::Syscall),
+        arb_reg().prop_map(Inst::Push),
+        arb_reg().prop_map(Inst::Pop),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Inst::MovRr(a, b)),
+        (arb_reg(), any::<i32>()).prop_map(|(r, i)| Inst::MovRi(r, i)),
+        (arb_reg(), any::<u64>()).prop_map(|(r, i)| Inst::MovAbs(r, i)),
+        (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(a, b, d)| Inst::Lea(a, b, d)),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Inst::AddRr(a, b)),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Inst::SubRr(a, b)),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Inst::AndRr(a, b)),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Inst::OrRr(a, b)),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Inst::XorRr(a, b)),
+        (arb_reg(), any::<i8>()).prop_map(|(r, i)| Inst::AddRi8(r, i)),
+        (arb_reg(), any::<i8>()).prop_map(|(r, i)| Inst::SubRi8(r, i)),
+        (arb_reg(), any::<i32>()).prop_map(|(r, i)| Inst::AddRi32(r, i)),
+        (arb_reg(), any::<i32>()).prop_map(|(r, i)| Inst::SubRi32(r, i)),
+        (arb_reg(), 0u8..64).prop_map(|(r, i)| Inst::ShlRi(r, i)),
+        (arb_reg(), 0u8..64).prop_map(|(r, i)| Inst::ShrRi(r, i)),
+        (arb_reg(), 0u8..64).prop_map(|(r, i)| Inst::SarRi(r, i)),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Inst::MulRr(a, b)),
+        arb_reg().prop_map(Inst::Neg),
+        arb_reg().prop_map(Inst::Not),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Inst::CmpRr(a, b)),
+        (arb_reg(), any::<i8>()).prop_map(|(r, i)| Inst::CmpRi8(r, i)),
+        (arb_reg(), any::<i32>()).prop_map(|(r, i)| Inst::CmpRi32(r, i)),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Inst::TestRr(a, b)),
+        (arb_reg(), arb_reg(), any::<i8>()).prop_map(|(a, b, d)| Inst::Load(a, b, d)),
+        (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(a, b, d)| Inst::Load32(a, b, d)),
+        (arb_reg(), any::<i8>(), arb_reg()).prop_map(|(b, d, s)| Inst::Store(b, d, s)),
+        (arb_reg(), any::<i32>(), arb_reg()).prop_map(|(b, d, s)| Inst::Store32(b, d, s)),
+        (arb_cond(), any::<i8>()).prop_map(|(c, r)| Inst::Jcc(c, r)),
+        (arb_cond(), any::<i32>()).prop_map(|(c, r)| Inst::Jcc32(c, r)),
+        any::<i8>().prop_map(Inst::JmpRel8),
+        any::<i32>().prop_map(Inst::JmpRel32),
+        any::<i32>().prop_map(Inst::CallRel32),
+        arb_reg().prop_map(Inst::JmpInd),
+        arb_reg().prop_map(Inst::CallInd),
+        (arb_cond(), arb_reg()).prop_map(|(c, r)| Inst::Setcc(c, r)),
+        (arb_cond(), arb_reg(), arb_reg()).prop_map(|(c, a, b)| Inst::Cmov(c, a, b)),
+    ]
+}
+
+proptest! {
+    /// encode → decode is the identity on every instruction.
+    #[test]
+    fn encode_decode_roundtrip(inst in arb_inst()) {
+        let bytes = encode(&inst);
+        prop_assert_eq!(bytes.len(), inst.len());
+        prop_assert_eq!(decode(&bytes).unwrap(), inst);
+        prop_assert_eq!(decode_len(&bytes).unwrap(), inst.len());
+    }
+
+    /// Sequentially decoding an assembled instruction stream recovers the
+    /// exact instruction sequence and boundaries.
+    #[test]
+    fn sequential_decode_matches_assembly(insts in prop::collection::vec(arb_inst(), 1..64)) {
+        let base = VirtAddr::new(0x40_0000);
+        let mut asm = Assembler::new(base);
+        for inst in &insts {
+            asm.emit(*inst);
+        }
+        let program = asm.finish().unwrap();
+        let mut pc = base;
+        for inst in &insts {
+            prop_assert!(program.is_inst_start(pc));
+            prop_assert_eq!(program.decode_at(pc).unwrap(), *inst);
+            pc += inst.len() as u64;
+        }
+        prop_assert_eq!(program.code_size(), (pc - base) as usize);
+    }
+
+    /// Decoding arbitrary garbage never panics and, on success, reports a
+    /// length consistent with `decode_len`.
+    #[test]
+    fn decode_total_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..32)) {
+        match (decode(&bytes), decode_len(&bytes)) {
+            (Ok(inst), Ok(len)) => prop_assert_eq!(inst.len(), len),
+            (Ok(_), Err(_)) => prop_assert!(false, "decode ok but decode_len failed"),
+            (Err(_), _) => {}
+        }
+    }
+
+    /// Block and page decompositions reassemble to the original address.
+    #[test]
+    fn addr_decomposition(value in any::<u64>()) {
+        let addr = VirtAddr::new(value);
+        prop_assert_eq!(
+            addr.block_base().value() + addr.block_offset() as u64,
+            value
+        );
+        prop_assert_eq!(
+            addr.page_base().value() + addr.page_offset(),
+            value
+        );
+        prop_assert_eq!(addr.page_number() * 4096 + addr.page_offset(), value);
+    }
+
+    /// Truncation equality is exactly "same low bits" (BTB aliasing).
+    #[test]
+    fn aliasing_matches_bit_mask(a in any::<u64>(), b in any::<u64>(), bits in 1u32..=64) {
+        let (x, y) = (VirtAddr::new(a), VirtAddr::new(b));
+        let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        prop_assert_eq!(x.aliases(y, bits), a & mask == b & mask);
+    }
+
+    /// Direct targets are always pc + len + rel.
+    #[test]
+    fn direct_target_formula(pc in any::<u64>(), rel in any::<i8>()) {
+        let pc = VirtAddr::new(pc);
+        let inst = Inst::JmpRel8(rel);
+        let target = inst.direct_target(pc).unwrap();
+        prop_assert_eq!(target, pc.offset(2).offset_signed(rel as i64));
+    }
+}

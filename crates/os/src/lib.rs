@@ -1,0 +1,59 @@
+//! # nv-os — process, scheduler and enclave substrate
+//!
+//! The NightVision attacks need an operating-system layer around the bare
+//! core:
+//!
+//! * [`System`] — processes sharing one simulated core (and therefore one
+//!   BTB: the co-location that makes the side channel exist), context
+//!   switches, and a `sched_yield` syscall used by the paper's own
+//!   proof-of-concept preemption methodology (§7.2);
+//! * [`PageTable`] — per-process page permissions with accessed/dirty
+//!   tracking, the substrate for controlled-channel attacks (page-number
+//!   leakage, call/ret data-access detection — §6.3/§6.4);
+//! * [`Enclave`] — an SGX-like container: opaque code (the attacker gets no
+//!   API to read enclave bytes), timer-driven single-stepping à la SGX-Step
+//!   with realistic speculative overshoot, and page-fault delivery to the
+//!   untrusted supervisor (§6.1–§6.3).
+//!
+//! ## Example
+//!
+//! ```
+//! use nv_os::{System, syscalls};
+//! use nv_isa::{Assembler, VirtAddr};
+//! use nv_uarch::UarchConfig;
+//!
+//! # fn main() -> Result<(), nv_isa::IsaError> {
+//! let mut asm = Assembler::new(VirtAddr::new(0x40_0000));
+//! asm.syscall(syscalls::YIELD);
+//! asm.halt();
+//! let mut system = System::new(UarchConfig::default());
+//! let pid = system.spawn(asm.finish()?);
+//! assert!(system.run(pid, 100).yielded());
+//! assert!(system.run(pid, 100).exited());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod enclave;
+mod pagetable;
+mod process;
+mod system;
+
+/// Well-known syscall numbers used by victim and attacker programs.
+pub mod syscalls {
+    /// Terminate the process.
+    pub const EXIT: u8 = 0;
+    /// `sched_yield`: hand the core to the other party (the paper's PoC
+    /// preemption mechanism, §7.2).
+    pub const YIELD: u8 = 1;
+    /// Attacker checkpoint: marks the end of a measurement phase.
+    pub const CHECKPOINT: u8 = 2;
+}
+
+pub use enclave::{Enclave, EnclaveStep, StepExit};
+pub use pagetable::{PagePerms, PageTable};
+pub use process::{Pid, Process, ProcessStatus};
+pub use system::{BtbMitigation, RunOutcome, System};

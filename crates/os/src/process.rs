@@ -1,0 +1,106 @@
+//! Processes: a machine context plus scheduling state.
+
+use std::fmt;
+
+use nv_isa::Program;
+use nv_uarch::Machine;
+
+/// A process identifier.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Pid(u32);
+
+impl Pid {
+    /// Creates a pid from its raw value (normally produced by
+    /// [`crate::System::spawn`]).
+    pub const fn new(value: u32) -> Self {
+        Pid(value)
+    }
+
+    /// The raw numeric value.
+    pub const fn value(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid{}", self.0)
+    }
+}
+
+/// Scheduling state of a process.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ProcessStatus {
+    /// Runnable.
+    Ready,
+    /// Has exited (halted or `EXIT` syscall).
+    Exited,
+    /// Wedged on a fetch/decode fault.
+    Faulted,
+}
+
+/// A process: one software context scheduled onto the shared core.
+#[derive(Clone, Debug)]
+pub struct Process {
+    pid: Pid,
+    machine: Machine,
+    status: ProcessStatus,
+}
+
+impl Process {
+    /// Creates a ready process from a program image.
+    pub fn new(pid: Pid, program: Program) -> Self {
+        Process {
+            pid,
+            machine: Machine::new(program),
+            status: ProcessStatus::Ready,
+        }
+    }
+
+    /// The process id.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// Scheduling status.
+    pub fn status(&self) -> ProcessStatus {
+        self.status
+    }
+
+    /// Marks the process exited.
+    pub fn set_status(&mut self, status: ProcessStatus) {
+        self.status = status;
+    }
+
+    /// The underlying machine context.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Mutable machine access (the owner process may modify its own state —
+    /// e.g. the attacker process rewinds its probe loop).
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nv_isa::{Assembler, VirtAddr};
+
+    #[test]
+    fn process_starts_ready_at_entry() {
+        let mut asm = Assembler::new(VirtAddr::new(0x1234_0000));
+        asm.nop();
+        let process = Process::new(Pid::new(7), asm.finish().unwrap());
+        assert_eq!(process.pid().value(), 7);
+        assert_eq!(process.status(), ProcessStatus::Ready);
+        assert_eq!(process.machine().pc(), VirtAddr::new(0x1234_0000));
+    }
+
+    #[test]
+    fn pid_display() {
+        assert_eq!(Pid::new(3).to_string(), "pid3");
+    }
+}

@@ -1,0 +1,285 @@
+//! Microarchitectural configuration: CPU generations, BTB geometry and the
+//! timing model.
+
+use nv_isa::VirtAddr;
+
+/// The Intel CPU generations reverse-engineered by the paper (§2.3).
+///
+/// The generations differ, for our purposes, in one parameter: the address
+/// bit at which the BTB stops looking. SkyLake-class parts ignore bits ≥ 33;
+/// IceLake ignores bits ≥ 34 (footnote 1 of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CpuGeneration {
+    /// Xeon 8124-class.
+    SkyLake,
+    /// Core 7700-class.
+    KabyLake,
+    /// Core 9700/9900-class (the paper's evaluation machines, §7.1).
+    CoffeeLake,
+    /// Xeon 8252/8259-class.
+    CascadeLake,
+    /// Xeon 8375-class; tag cutoff one bit higher.
+    IceLake,
+}
+
+impl CpuGeneration {
+    /// First address bit the BTB ignores during lookup.
+    pub const fn tag_cutoff_bit(self) -> u32 {
+        match self {
+            CpuGeneration::SkyLake
+            | CpuGeneration::KabyLake
+            | CpuGeneration::CoffeeLake
+            | CpuGeneration::CascadeLake => 33,
+            CpuGeneration::IceLake => 34,
+        }
+    }
+
+    /// All modelled generations.
+    pub fn all() -> impl Iterator<Item = CpuGeneration> {
+        [
+            CpuGeneration::SkyLake,
+            CpuGeneration::KabyLake,
+            CpuGeneration::CoffeeLake,
+            CpuGeneration::CascadeLake,
+            CpuGeneration::IceLake,
+        ]
+        .into_iter()
+    }
+}
+
+/// Set-associative BTB geometry.
+///
+/// Every lookup decomposes a PC into `| ignored ≥ cutoff | tag | set | offset |`,
+/// with a 5-bit offset selecting the byte within a 32-byte fetch block.
+///
+/// # Examples
+///
+/// ```
+/// use nv_uarch::BtbGeometry;
+/// use nv_isa::VirtAddr;
+///
+/// let geometry = BtbGeometry::default();
+/// // Addresses 8 GiB apart alias: identical set and tag.
+/// let a = VirtAddr::new(0x4000_1230);
+/// let b = VirtAddr::new(0x4000_1230 + (1 << 33));
+/// assert_eq!(geometry.decompose(a), geometry.decompose(b));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BtbGeometry {
+    /// Number of sets (must be a power of two).
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// First PC bit ignored by tag comparison (33 or 34 on real parts).
+    pub tag_cutoff_bit: u32,
+}
+
+impl BtbGeometry {
+    /// Geometry for a given CPU generation (4096 entries, 8-way — the
+    /// SkyLake-class organization reported by prior reverse engineering).
+    pub fn for_generation(generation: CpuGeneration) -> Self {
+        BtbGeometry {
+            sets: 512,
+            ways: 8,
+            tag_cutoff_bit: generation.tag_cutoff_bit(),
+        }
+    }
+
+    /// Number of PC bits used for the set index.
+    pub fn set_bits(&self) -> u32 {
+        self.sets.trailing_zeros()
+    }
+
+    /// Splits a PC into `(set, tag, offset)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (non-power-of-two sets or a tag
+    /// cutoff below the set field).
+    pub fn decompose(&self, pc: VirtAddr) -> (usize, u64, u8) {
+        assert!(self.sets.is_power_of_two(), "sets must be a power of two");
+        let set_lo = 5;
+        let set_hi = set_lo + self.set_bits();
+        assert!(
+            self.tag_cutoff_bit > set_hi,
+            "tag cutoff must lie above the set field"
+        );
+        let set = pc.bits(set_lo, set_hi) as usize;
+        let tag = pc.bits(set_hi, self.tag_cutoff_bit);
+        let offset = pc.block_offset();
+        (set, tag, offset)
+    }
+
+    /// `true` if two PCs fall in the same BTB set with the same tag, i.e.
+    /// they are *BTB-aliased* (they may still differ in offset).
+    pub fn same_set_and_tag(&self, a: VirtAddr, b: VirtAddr) -> bool {
+        let (sa, ta, _) = self.decompose(a);
+        let (sb, tb, _) = self.decompose(b);
+        sa == sb && ta == tb
+    }
+
+    /// Total number of BTB entries.
+    pub fn entries(&self) -> usize {
+        self.sets * self.ways
+    }
+}
+
+impl Default for BtbGeometry {
+    /// CoffeeLake geometry — the paper's evaluation machines.
+    fn default() -> Self {
+        BtbGeometry::for_generation(CpuGeneration::CoffeeLake)
+    }
+}
+
+/// Cycle-cost model for the simulated core.
+///
+/// Absolute values are representative rather than calibrated; the attack
+/// (and the paper's own methodology) only consumes the *gap* between the
+/// predicted and mispredicted paths.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TimingModel {
+    /// Cost of an ordinary instruction.
+    pub base_cost: u64,
+    /// Extra cost of multiply-class instructions.
+    pub mul_extra: u64,
+    /// Extra cost of a data-memory access.
+    pub mem_extra: u64,
+    /// Front-end resteer penalty: a taken *unconditional direct* transfer
+    /// that missed in the BTB (target known at decode).
+    pub resteer_penalty: u64,
+    /// Full squash penalty: false hits, wrong targets, wrong directions,
+    /// indirect/return mispredictions (target known only at execute).
+    pub squash_penalty: u64,
+}
+
+impl Default for TimingModel {
+    fn default() -> Self {
+        TimingModel {
+            base_cost: 1,
+            mul_extra: 2,
+            mem_extra: 3,
+            resteer_penalty: 9,
+            squash_penalty: 17,
+        }
+    }
+}
+
+/// Complete configuration of a simulated core.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct UarchConfig {
+    /// BTB organization.
+    pub geometry: BtbGeometry,
+    /// Cycle costs.
+    pub timing: TimingModel,
+    /// Whether adjacent `cmp/test + jcc` pairs macro-fuse (§7.3).
+    pub fusion: bool,
+    /// Number of instructions the front end runs ahead speculatively after
+    /// a single-stepped instruction retires (§6.3 "Impact of Speculative
+    /// Execution"). Zero disables the overshoot. Real out-of-order cores
+    /// run dozens of transient instructions past a precise interrupt; the
+    /// default of 12 is on the conservative end of SGX-Step observations.
+    pub speculation_depth: usize,
+    /// Capacity of the return stack buffer.
+    pub rsb_depth: usize,
+}
+
+impl UarchConfig {
+    /// Configuration for one of the paper's CPU generations, with default
+    /// timing, fusion enabled and a 2-instruction speculative overshoot.
+    pub fn for_generation(generation: CpuGeneration) -> Self {
+        UarchConfig {
+            geometry: BtbGeometry::for_generation(generation),
+            timing: TimingModel::default(),
+            fusion: true,
+            speculation_depth: 12,
+            rsb_depth: 16,
+        }
+    }
+}
+
+impl Default for UarchConfig {
+    /// CoffeeLake — the paper's evaluation configuration (§7.1).
+    fn default() -> Self {
+        UarchConfig::for_generation(CpuGeneration::CoffeeLake)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_cutoffs_match_the_paper() {
+        assert_eq!(CpuGeneration::SkyLake.tag_cutoff_bit(), 33);
+        assert_eq!(CpuGeneration::KabyLake.tag_cutoff_bit(), 33);
+        assert_eq!(CpuGeneration::CoffeeLake.tag_cutoff_bit(), 33);
+        assert_eq!(CpuGeneration::CascadeLake.tag_cutoff_bit(), 33);
+        assert_eq!(CpuGeneration::IceLake.tag_cutoff_bit(), 34);
+    }
+
+    #[test]
+    fn decompose_fields_are_disjoint() {
+        let geometry = BtbGeometry::default();
+        let pc = VirtAddr::new(0b1_1010_1010_1010_1011_0110);
+        let (set, tag, offset) = geometry.decompose(pc);
+        assert_eq!(offset as u64, pc.value() & 0x1f);
+        assert_eq!(set as u64, (pc.value() >> 5) & 0x1ff);
+        assert_eq!(tag, (pc.value() >> 14) & ((1 << 19) - 1));
+    }
+
+    #[test]
+    fn aliasing_at_8_gib() {
+        let geometry = BtbGeometry::default();
+        let a = VirtAddr::new(0x1234_5678);
+        let b = VirtAddr::new(0x1234_5678 + (1u64 << 33));
+        assert_eq!(geometry.decompose(a), geometry.decompose(b));
+        assert!(geometry.same_set_and_tag(a, b));
+        // 16 GiB also aliases under a 33-bit cutoff.
+        let c = VirtAddr::new(0x1234_5678 + (1u64 << 34));
+        assert!(geometry.same_set_and_tag(a, c));
+    }
+
+    #[test]
+    fn icelake_needs_16_gib_for_aliasing() {
+        let geometry = BtbGeometry::for_generation(CpuGeneration::IceLake);
+        let a = VirtAddr::new(0x1234_5678);
+        let b = VirtAddr::new(0x1234_5678 + (1u64 << 33));
+        let c = VirtAddr::new(0x1234_5678 + (1u64 << 34));
+        assert!(!geometry.same_set_and_tag(a, b));
+        assert!(geometry.same_set_and_tag(a, c));
+    }
+
+    #[test]
+    fn nearby_blocks_do_not_alias() {
+        let geometry = BtbGeometry::default();
+        let a = VirtAddr::new(0x1000);
+        assert!(!geometry.same_set_and_tag(a, VirtAddr::new(0x1020)));
+        // Same block, different offsets: same set and tag.
+        assert!(geometry.same_set_and_tag(a, VirtAddr::new(0x101f)));
+    }
+
+    #[test]
+    fn entries_count() {
+        assert_eq!(BtbGeometry::default().entries(), 4096);
+        assert_eq!(BtbGeometry::default().set_bits(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn degenerate_geometry_panics() {
+        let geometry = BtbGeometry {
+            sets: 3,
+            ways: 1,
+            tag_cutoff_bit: 33,
+        };
+        geometry.decompose(VirtAddr::new(0));
+    }
+
+    #[test]
+    fn default_config_is_coffeelake_with_fusion() {
+        let config = UarchConfig::default();
+        assert_eq!(config.geometry.tag_cutoff_bit, 33);
+        assert!(config.fusion);
+        assert!(config.speculation_depth > 0);
+    }
+}

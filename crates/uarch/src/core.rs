@@ -1,0 +1,1042 @@
+//! The simulated core: superscalar-style fetch with prediction windows,
+//! BTB-directed prediction, squash accounting, LBR, RSB, macro-fusion and
+//! speculative overshoot.
+//!
+//! The model is instruction-granular but performs BTB interactions at
+//! prediction-window (PW) granularity, matching §2.2: a BTB lookup happens
+//! whenever fetch enters a new 32-byte block (or resteers), and its result —
+//! "the next branch in this window is at offset `o` with target `t`" — is
+//! held until the flow either reaches offset `o`, leaves the window, or
+//! squashes.
+
+use std::collections::VecDeque;
+
+use nv_isa::{Inst, InstKind, IsaError, Program, VirtAddr};
+
+use crate::btb::{BranchKind, Btb, BtbHit};
+use crate::config::UarchConfig;
+use crate::events::{EventLog, FrontEndEvent, SquashCause};
+use crate::exec::{execute, ArchState, ControlOutcome, ExecOutcome, MemAccess};
+use crate::lbr::Lbr;
+use crate::mem::{Bus, Memory, SpecOverlay};
+
+/// A program plus its architectural state and data memory: everything that
+/// belongs to a software context (the OS crate wraps this in a process).
+#[derive(Clone, Debug)]
+pub struct Machine {
+    program: Program,
+    state: ArchState,
+    memory: Memory,
+}
+
+impl Machine {
+    /// Default top-of-stack for fresh machines.
+    pub const STACK_TOP: u64 = 0x7f00_0000_0000;
+
+    /// Creates a machine with the PC at the program entry and an empty
+    /// stack at [`Machine::STACK_TOP`].
+    pub fn new(program: Program) -> Self {
+        let entry = program.entry().unwrap_or(VirtAddr::new(0));
+        let mut state = ArchState::new(entry);
+        state.set_reg(nv_isa::Reg::SP, Self::STACK_TOP);
+        Machine {
+            program,
+            state,
+            memory: Memory::new(),
+        }
+    }
+
+    /// The program image.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Architectural state.
+    pub fn state(&self) -> &ArchState {
+        &self.state
+    }
+
+    /// Mutable architectural state.
+    pub fn state_mut(&mut self) -> &mut ArchState {
+        &mut self.state
+    }
+
+    /// Data memory.
+    pub fn memory(&self) -> &Memory {
+        &self.memory
+    }
+
+    /// Mutable data memory.
+    pub fn memory_mut(&mut self) -> &mut Memory {
+        &mut self.memory
+    }
+
+    /// Current PC (shorthand for `state().pc()`).
+    pub fn pc(&self) -> VirtAddr {
+        self.state.pc()
+    }
+
+    fn parts_mut(&mut self) -> (&Program, &mut ArchState, &mut Memory) {
+        (&self.program, &mut self.state, &mut self.memory)
+    }
+}
+
+/// The active prediction window.
+#[derive(Clone, Copy, Debug)]
+struct PwState {
+    /// 32-byte block the window covers.
+    block: VirtAddr,
+    /// Predicted next branch in the window, if the lookup hit.
+    pending: Option<BtbHit>,
+}
+
+/// One retired instruction, as reported by [`Core::step`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RetiredInst {
+    /// Its PC.
+    pub pc: VirtAddr,
+    /// The decoded instruction.
+    pub inst: Inst,
+    /// Taken-transfer target, if it transferred control.
+    pub taken: Option<VirtAddr>,
+    /// Data access, if any.
+    pub mem_access: Option<MemAccess>,
+}
+
+/// Result of one [`Core::step`] call (one *retirement unit*: a single
+/// instruction, or a macro-fused `cmp/test + jcc` pair — §7.3).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StepResult {
+    /// The (leading) retired instruction, absent only on a fetch fault.
+    pub first: Option<RetiredInst>,
+    /// The fused conditional branch, when a pair retired together.
+    pub second: Option<RetiredInst>,
+    /// Syscall raised by the instruction, if any.
+    pub syscall: Option<u8>,
+    /// `true` if the machine executed `hlt`.
+    pub halted: bool,
+    /// Decode/fetch fault, if the PC pointed at garbage.
+    pub fault: Option<IsaError>,
+    /// Core cycles consumed by this step (including penalties).
+    pub cycles: u64,
+}
+
+impl StepResult {
+    /// Number of instructions retired in this step (0, 1 or 2).
+    pub fn retired_count(&self) -> usize {
+        self.first.iter().count() + self.second.iter().count()
+    }
+
+    /// Iterates over the retired instructions.
+    pub fn retired(&self) -> impl Iterator<Item = &RetiredInst> {
+        self.first.iter().chain(self.second.iter())
+    }
+
+    /// `true` if a fused pair retired.
+    pub fn fused(&self) -> bool {
+        self.second.is_some()
+    }
+}
+
+/// Why [`Core::run`] returned.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RunExit {
+    /// The machine executed `hlt`.
+    Halted,
+    /// A syscall was raised (PC already points past it).
+    Syscall(u8),
+    /// A fetch/decode fault wedged the machine.
+    Fault(IsaError),
+    /// The step budget ran out.
+    StepLimit,
+}
+
+/// Aggregate counters for core activity.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CoreStats {
+    /// `step` invocations.
+    pub steps: u64,
+    /// Instructions retired.
+    pub retired: u64,
+    /// Squashes (any cause).
+    pub squashes: u64,
+    /// BTB entries deallocated by false hits.
+    pub false_hit_deallocs: u64,
+    /// Correctly predicted taken transfers.
+    pub correct_predictions: u64,
+    /// Macro-fused pairs retired.
+    pub fused_pairs: u64,
+    /// Instructions processed speculatively past a step boundary.
+    pub speculated: u64,
+}
+
+/// Outcome of the internal per-instruction front-end pass.
+struct ExecStep {
+    pc: VirtAddr,
+    inst: Inst,
+    outcome: ExecOutcome,
+}
+
+/// The simulated core.
+///
+/// # Examples
+///
+/// Running a tiny program and observing the BTB allocate an entry for its
+/// jump:
+///
+/// ```
+/// use nv_uarch::{Core, Machine, UarchConfig};
+/// use nv_isa::{Assembler, VirtAddr};
+///
+/// # fn main() -> Result<(), nv_isa::IsaError> {
+/// let mut asm = Assembler::new(VirtAddr::new(0x40_0000));
+/// asm.jmp8("end");
+/// asm.label("end");
+/// asm.halt();
+/// let mut machine = Machine::new(asm.finish()?);
+///
+/// let mut core = Core::new(UarchConfig::default());
+/// core.run(&mut machine, 10);
+/// assert_eq!(core.btb_mut().lookup(VirtAddr::new(0x40_0000)).is_some(), true);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Core {
+    config: UarchConfig,
+    btb: Btb,
+    lbr: Lbr,
+    rsb: VecDeque<VirtAddr>,
+    cycle: u64,
+    pw: Option<PwState>,
+    events: EventLog,
+    stats: CoreStats,
+}
+
+impl Core {
+    /// Creates a core with empty predictors.
+    pub fn new(config: UarchConfig) -> Self {
+        Core {
+            config,
+            btb: Btb::new(config.geometry),
+            lbr: Lbr::new(),
+            rsb: VecDeque::new(),
+            cycle: 0,
+            pw: None,
+            events: EventLog::new(4096),
+            stats: CoreStats::default(),
+        }
+    }
+
+    /// The configuration the core was built with.
+    pub fn config(&self) -> &UarchConfig {
+        &self.config
+    }
+
+    /// Read access to the BTB.
+    pub fn btb(&self) -> &Btb {
+        &self.btb
+    }
+
+    /// Mutable access to the BTB (flushes, barriers, direct probing).
+    pub fn btb_mut(&mut self) -> &mut Btb {
+        &mut self.btb
+    }
+
+    /// The LBR.
+    pub fn lbr(&self) -> &Lbr {
+        &self.lbr
+    }
+
+    /// Mutable LBR access (the attacker clears it between measurements).
+    pub fn lbr_mut(&mut self) -> &mut Lbr {
+        &mut self.lbr
+    }
+
+    /// Current core cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> CoreStats {
+        self.stats
+    }
+
+    /// The front-end event log.
+    pub fn events(&self) -> &EventLog {
+        &self.events
+    }
+
+    /// Mutable event-log access (enable/clear).
+    pub fn events_mut(&mut self) -> &mut EventLog {
+        &mut self.events
+    }
+
+    /// Discards transient front-end state (the active PW). Called on
+    /// context switches and interrupts; predictor state (BTB, RSB) is
+    /// deliberately *not* cleared — that residue is the side channel.
+    pub fn reset_frontend(&mut self) {
+        self.pw = None;
+    }
+
+    /// Executes one retirement unit: one instruction, or a macro-fused
+    /// `cmp/test + jcc` pair when fusion is enabled (§7.3).
+    pub fn step(&mut self, machine: &mut Machine) -> StepResult {
+        let cycle_before = self.cycle;
+        let (program, state, memory) = machine.parts_mut();
+        let mut result = StepResult {
+            first: None,
+            second: None,
+            syscall: None,
+            halted: false,
+            fault: None,
+            cycles: 0,
+        };
+        let step1 = match self.exec_one(program, state, memory, false) {
+            Ok(step) => step,
+            Err(err) => {
+                result.fault = Some(err);
+                return result;
+            }
+        };
+        self.stats.steps += 1;
+        self.stats.retired += 1;
+        result.first = Some(RetiredInst {
+            pc: step1.pc,
+            inst: step1.inst,
+            taken: step1.outcome.control.taken_target(),
+            mem_access: step1.outcome.mem_access,
+        });
+        result.syscall = step1.outcome.syscall;
+        result.halted = step1.outcome.halt;
+
+        // Macro-fusion: a flag-setting compare/test retires together with an
+        // immediately following conditional branch in the same 64-byte line.
+        if self.config.fusion
+            && step1.inst.is_fusible_flag_setter()
+            && result.syscall.is_none()
+            && !result.halted
+        {
+            let next_pc = state.pc();
+            let same_line = next_pc.value() / 64 == step1.pc.value() / 64;
+            if same_line {
+                if let Ok(next_inst) = program.decode_at(next_pc) {
+                    if next_inst.kind() == InstKind::CondBranch {
+                        if let Ok(step2) = self.exec_one(program, state, memory, false) {
+                            self.stats.retired += 1;
+                            self.stats.fused_pairs += 1;
+                            result.second = Some(RetiredInst {
+                                pc: step2.pc,
+                                inst: step2.inst,
+                                taken: step2.outcome.control.taken_target(),
+                                mem_access: step2.outcome.mem_access,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        result.cycles = self.cycle - cycle_before;
+        result
+    }
+
+    /// Runs until halt, syscall, fault or `max_steps` retirement units.
+    pub fn run(&mut self, machine: &mut Machine, max_steps: u64) -> RunExit {
+        for _ in 0..max_steps {
+            let step = self.step(machine);
+            if let Some(fault) = step.fault {
+                return RunExit::Fault(fault);
+            }
+            if step.halted {
+                return RunExit::Halted;
+            }
+            if let Some(code) = step.syscall {
+                return RunExit::Syscall(code);
+            }
+        }
+        RunExit::StepLimit
+    }
+
+    /// Models the front end running ahead of a single-stepped instruction:
+    /// up to `depth` further instructions are fetched and pseudo-executed,
+    /// applying their **BTB side effects** (false-hit deallocations,
+    /// allocations) without retiring architecturally (§6.3).
+    ///
+    /// Architectural state and memory are untouched; the RSB is restored
+    /// afterwards (squash recovery); the active PW is discarded, as the
+    /// interrupt redirects fetch anyway.
+    pub fn speculate_ahead(&mut self, machine: &Machine, depth: usize) {
+        if depth == 0 {
+            self.pw = None;
+            return;
+        }
+        let mut state = machine.state().clone();
+        let mut overlay = SpecOverlay::new(machine.memory());
+        let saved_rsb = self.rsb.clone();
+        let saved_cycle = self.cycle;
+        for _ in 0..depth {
+            match self.exec_one(machine.program(), &mut state, &mut overlay, true) {
+                Ok(step) => {
+                    self.stats.speculated += 1;
+                    if step.outcome.halt || step.outcome.syscall.is_some() {
+                        break;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        self.rsb = saved_rsb;
+        self.cycle = saved_cycle;
+        self.pw = None;
+    }
+
+    /// The per-instruction front-end + execute pass.
+    ///
+    /// `speculative` suppresses cycle accounting, LBR records and stats that
+    /// describe architectural retirement, but *keeps* BTB state changes —
+    /// the paper's key point is that deallocation happens at decode, before
+    /// retirement (§2.2).
+    fn exec_one<M: Bus>(
+        &mut self,
+        program: &Program,
+        state: &mut ArchState,
+        mem: &mut M,
+        speculative: bool,
+    ) -> Result<ExecStep, IsaError> {
+        let pc = state.pc();
+
+        // (1) Prediction-window maintenance: look up the BTB when fetch
+        // enters a new 32-byte block, and verify the prediction against
+        // the *decoded fetch bundle*. The false-hit check is a property of
+        // bundle decode, not of retirement: the front end fetches up to
+        // the predicted branch location and the decoders immediately see
+        // whether a control transfer really ends there (§2.2 — this is why
+        // entries die "as soon as instruction decoding finishes and even
+        // if the instruction causing the false hit doesn't retire").
+        let need_lookup = match &self.pw {
+            Some(pw) => pw.block != pc.block_base(),
+            None => true,
+        };
+        if need_lookup {
+            let mut pending = None;
+            loop {
+                let Some(hit) = self.btb.lookup(pc) else {
+                    self.events.push(FrontEndEvent::PwLookup { pc, hit: false });
+                    break;
+                };
+                self.events.push(FrontEndEvent::PwLookup { pc, hit: true });
+                match verify_bundle(program, pc, hit.branch_pc) {
+                    BundleVerdict::BranchEndsThere => {
+                        pending = Some(hit);
+                        break;
+                    }
+                    BundleVerdict::CutShortByEarlierTransfer => {
+                        // Fetch redirects at the earlier transfer; the
+                        // prediction is dropped but the entry survives.
+                        break;
+                    }
+                    cause => {
+                        // False hit: deallocate and squash; the front end
+                        // refetches and looks the window up again (it may
+                        // hit another, lower-priority entry — this is what
+                        // Experiment 2 observes after jmp L2's entry dies).
+                        let cause = match cause {
+                            BundleVerdict::NonTransferThere => {
+                                SquashCause::FalseHitNonTransfer
+                            }
+                            _ => SquashCause::FalseHitMidInstruction,
+                        };
+                        self.btb.deallocate(hit.set, hit.way);
+                        self.stats.false_hit_deallocs += 1;
+                        self.events.push(FrontEndEvent::Deallocate {
+                            at: hit.branch_pc,
+                            cause,
+                            speculative,
+                        });
+                        if !speculative {
+                            let penalty = self.config.timing.squash_penalty;
+                            self.cycle += penalty;
+                            self.stats.squashes += 1;
+                            self.events.push(FrontEndEvent::Squash {
+                                at: pc,
+                                cause,
+                                penalty,
+                            });
+                        }
+                    }
+                }
+            }
+            self.pw = Some(PwState {
+                block: pc.block_base(),
+                pending,
+            });
+        }
+
+        // (2) Decode.
+        let inst = program.decode_at(pc)?;
+        let len = inst.len() as u64;
+        let last_byte = pc.offset(len - 1);
+
+        let timing = self.config.timing;
+        let pending = self.pw.as_ref().and_then(|pw| pw.pending);
+        let mut pred_here = pending.filter(|h| h.branch_pc == last_byte);
+
+        // (2b) Boundary-straddling instructions: a branch whose last byte
+        // falls in the *next* 32-byte block is indexed in that block's
+        // set, so its prediction comes from the next block's lookup — the
+        // front end fetches that block before the instruction completes.
+        if pred_here.is_none() && last_byte.block_base() != pc.block_base() {
+            if let Some(hit) = self.btb.lookup(last_byte.block_base()) {
+                if hit.branch_pc == last_byte && inst.is_control_transfer() {
+                    pred_here = Some(hit);
+                } else if hit.branch_pc <= last_byte {
+                    // The next block's prediction points into this
+                    // instruction's tail bytes: a false hit, detected when
+                    // the straddling instruction decodes.
+                    self.btb.deallocate(hit.set, hit.way);
+                    self.stats.false_hit_deallocs += 1;
+                    self.events.push(FrontEndEvent::Deallocate {
+                        at: hit.branch_pc,
+                        cause: SquashCause::FalseHitMidInstruction,
+                        speculative,
+                    });
+                    if !speculative {
+                        let penalty = timing.squash_penalty;
+                        self.cycle += penalty;
+                        self.stats.squashes += 1;
+                        self.events.push(FrontEndEvent::Squash {
+                            at: pc,
+                            cause: SquashCause::FalseHitMidInstruction,
+                            penalty,
+                        });
+                    }
+                }
+                // A predicted branch further into the next block is left
+                // for the next block's own PW maintenance.
+            }
+        }
+
+        // (3) Execute architecturally.
+        let outcome = execute(&inst, state, mem);
+
+        // (4) Resolve the (bundle-verified) prediction against reality.
+        let mut penalty = 0u64;
+        let mut mispredicted = false;
+
+        match outcome.control {
+            ControlOutcome::Taken { target } => {
+                match inst.kind() {
+                    InstKind::Ret => {
+                        // Return prediction needs both halves: a BTB entry
+                        // marking "a return ends here" (so fetch knows to
+                        // redirect at all) and the RSB supplying the
+                        // target. The RSB pops at every ret retirement.
+                        let rsb_top = self.rsb.pop_back();
+                        let predicted_here = pred_here.is_some();
+                        if predicted_here && rsb_top == Some(target) {
+                            self.stats.correct_predictions += 1;
+                            self.events
+                                .push(FrontEndEvent::CorrectPrediction { at: pc });
+                        } else {
+                            penalty = timing.squash_penalty;
+                            mispredicted = true;
+                            self.events.push(FrontEndEvent::Squash {
+                                at: pc,
+                                cause: if predicted_here {
+                                    SquashCause::RsbMismatch
+                                } else {
+                                    SquashCause::BtbMissTaken
+                                },
+                                penalty,
+                            });
+                        }
+                        // Returns allocate BTB entries like other taken
+                        // transfers (the "there is a return here" marker).
+                        self.btb.allocate(last_byte, target, BranchKind::Return);
+                        self.events.push(FrontEndEvent::Allocate { pc, target });
+                    }
+                    kind => {
+                        let bkind = BranchKind::from_inst_kind(kind)
+                            .expect("taken non-ret transfer maps to a branch kind");
+                        match pred_here {
+                            Some(hit) if hit.target == target => {
+                                self.stats.correct_predictions += 1;
+                                self.events
+                                    .push(FrontEndEvent::CorrectPrediction { at: pc });
+                            }
+                            Some(_) => {
+                                penalty = timing.squash_penalty;
+                                mispredicted = true;
+                                self.events.push(FrontEndEvent::Squash {
+                                    at: pc,
+                                    cause: SquashCause::WrongTarget,
+                                    penalty,
+                                });
+                            }
+                            None => {
+                                // A taken transfer the BTB did not predict
+                                // (miss, or the prediction pointed further
+                                // down the window). Direct unconditional
+                                // targets resolve at decode (cheap
+                                // resteer); everything else squashes.
+                                penalty = if matches!(
+                                    kind,
+                                    InstKind::DirectJump | InstKind::DirectCall
+                                ) {
+                                    timing.resteer_penalty
+                                } else {
+                                    timing.squash_penalty
+                                };
+                                mispredicted = true;
+                                self.events.push(FrontEndEvent::Squash {
+                                    at: pc,
+                                    cause: SquashCause::BtbMissTaken,
+                                    penalty,
+                                });
+                            }
+                        }
+                        self.btb.allocate(last_byte, target, bkind);
+                        self.events.push(FrontEndEvent::Allocate { pc, target });
+                        if matches!(kind, InstKind::DirectCall | InstKind::IndirectCall) {
+                            if self.rsb.len() == self.config.rsb_depth {
+                                self.rsb.pop_front();
+                            }
+                            self.rsb.push_back(pc.offset(len));
+                        }
+                    }
+                }
+                self.pw = None;
+            }
+            ControlOutcome::NotTaken if pred_here.is_some() => {
+                // Bundle-verified branch, predicted taken, fell through:
+                // direction misprediction. The entry survives — direction
+                // is the conditional predictor's job, not the BTB's.
+                penalty = timing.squash_penalty;
+                mispredicted = true;
+                self.events.push(FrontEndEvent::Squash {
+                    at: pc,
+                    cause: SquashCause::WrongDirection,
+                    penalty,
+                });
+                self.pw = None;
+            }
+            ControlOutcome::NotTaken | ControlOutcome::NotTransfer => {
+                // Smooth fall-through; leaving the block ends the PW. The
+                // bundle verification guarantees no prediction can point
+                // inside a non-transfer instruction here.
+                let keep = self
+                    .pw
+                    .as_ref()
+                    .map(|pw| pw.block == outcome.next_pc.block_base())
+                    .unwrap_or(false);
+                if !keep {
+                    self.pw = None;
+                }
+            }
+        }
+
+        // (5) Cycle accounting and LBR (architectural path only).
+        //
+        // The instruction itself retires after its execution cost; the
+        // squash/resteer penalty delays whatever fetches *next*. This is
+        // why the paper reads the misprediction of `jmp L1` out of the
+        // elapsed-cycles field of the *subsequent* `ret`'s LBR record
+        // (§2.3): the penalty lands in the following record's interval.
+        if !speculative {
+            let mut cost = timing.base_cost;
+            if matches!(inst, Inst::MulRr(..)) {
+                cost += timing.mul_extra;
+            }
+            if outcome.mem_access.is_some() {
+                cost += timing.mem_extra;
+            }
+            self.cycle += cost;
+            if let ControlOutcome::Taken { target } = outcome.control {
+                self.lbr.record(pc, target, self.cycle, mispredicted);
+            }
+            self.cycle += penalty;
+            if penalty > 0 {
+                self.stats.squashes += 1;
+            }
+        }
+
+        Ok(ExecStep { pc, inst, outcome })
+    }
+}
+
+/// Outcome of checking a BTB prediction against the decoded fetch bundle.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum BundleVerdict {
+    /// A control-transfer instruction really ends at the predicted byte.
+    BranchEndsThere,
+    /// A non-control-transfer instruction ends at the predicted byte
+    /// (Takeaway 1's false hit).
+    NonTransferThere,
+    /// The predicted byte falls inside an instruction, or the bytes do not
+    /// decode at all.
+    MidInstruction,
+    /// An *unconditional* transfer ends before the predicted byte: decode
+    /// redirects fetch there and the predicted location is never examined.
+    /// The entry is neither used nor falsified.
+    CutShortByEarlierTransfer,
+}
+
+/// Decodes the fetch bundle from `pc` up to the predicted branch location
+/// `branch_end` and reports whether a control transfer really ends there.
+///
+/// Conditional branches before the predicted location are walked through
+/// (they carry no prediction of their own here, so fetch proceeds along
+/// the fall-through); unconditional transfers redirect decode and cut the
+/// bundle short.
+fn verify_bundle(program: &Program, pc: VirtAddr, branch_end: VirtAddr) -> BundleVerdict {
+    let mut cursor = pc;
+    loop {
+        let Ok(inst) = program.decode_at(cursor) else {
+            return BundleVerdict::MidInstruction;
+        };
+        let last = cursor.offset(inst.len() as u64 - 1);
+        if last == branch_end {
+            return if inst.is_control_transfer() {
+                BundleVerdict::BranchEndsThere
+            } else {
+                BundleVerdict::NonTransferThere
+            };
+        }
+        if last > branch_end {
+            return BundleVerdict::MidInstruction;
+        }
+        if inst.kind().is_unconditional() {
+            return BundleVerdict::CutShortByEarlierTransfer;
+        }
+        cursor = cursor.offset(inst.len() as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nv_isa::{Assembler, Cond, Reg};
+
+    fn fresh_core() -> Core {
+        Core::new(UarchConfig::default())
+    }
+
+    fn assemble(build: impl FnOnce(&mut Assembler)) -> Machine {
+        let mut asm = Assembler::new(VirtAddr::new(0x40_0000));
+        build(&mut asm);
+        Machine::new(asm.finish().expect("assembly"))
+    }
+
+    #[test]
+    fn straight_line_code_runs_to_halt() {
+        let mut machine = assemble(|asm| {
+            asm.mov_ri(Reg::R0, 5);
+            asm.add_ri8(Reg::R0, 3);
+            asm.halt();
+        });
+        let mut core = fresh_core();
+        let exit = core.run(&mut machine, 100);
+        assert_eq!(exit, RunExit::Halted);
+        assert_eq!(machine.state().reg(Reg::R0), 8);
+        assert!(core.cycle() > 0);
+    }
+
+    #[test]
+    fn taken_jump_allocates_btb_entry_and_predicts_next_time() {
+        let mut machine = assemble(|asm| {
+            asm.label("loop");
+            asm.add_ri8(Reg::R0, 1);
+            asm.cmp_ri8(Reg::R0, 10);
+            asm.jcc8(Cond::Ne, "loop");
+            asm.halt();
+        });
+        let mut core = Core::new(UarchConfig {
+            fusion: false,
+            ..UarchConfig::default()
+        });
+        let exit = core.run(&mut machine, 1000);
+        assert_eq!(exit, RunExit::Halted);
+        // 9 taken iterations: the first is a miss, later ones predicted.
+        assert!(core.stats().correct_predictions >= 7);
+        let entry = core.btb_mut().lookup(VirtAddr::new(0x40_0000 + 7));
+        assert!(entry.is_some(), "loop branch has a BTB entry");
+    }
+
+    #[test]
+    fn false_hit_on_nop_deallocates_entry() {
+        // Allocate an entry via a jump, then execute an aliased nop 8 GiB
+        // away: Takeaway 1 says the entry must be deallocated.
+        let mut machine = assemble(|asm| {
+            asm.label("jump_home");
+            asm.jmp8("after"); // 2-byte jump at 0x40_0000
+            asm.label("after");
+            asm.syscall(0); // checkpoint
+            asm.org(VirtAddr::new(0x40_0000 + (1 << 33))).unwrap();
+            asm.label("alias");
+            asm.nop();
+            asm.nop();
+            asm.nop();
+            asm.halt();
+        });
+        let mut core = fresh_core();
+        // Run the jump.
+        let exit = core.run(&mut machine, 10);
+        assert_eq!(exit, RunExit::Syscall(0));
+        assert!(core.btb_mut().lookup(VirtAddr::new(0x40_0000)).is_some());
+        // Steer the machine to the aliased nops.
+        machine
+            .state_mut()
+            .set_pc(VirtAddr::new(0x40_0000 + (1 << 33)));
+        core.reset_frontend();
+        let exit = core.run(&mut machine, 10);
+        assert_eq!(exit, RunExit::Halted);
+        assert!(
+            core.btb_mut().lookup(VirtAddr::new(0x40_0000)).is_none(),
+            "aliased non-transfer deallocated the entry"
+        );
+        assert!(core.stats().false_hit_deallocs >= 1);
+    }
+
+    #[test]
+    fn false_hit_costs_squash_penalty() {
+        let mut machine = assemble(|asm| {
+            asm.label("jump_home");
+            asm.jmp8("after");
+            asm.label("after");
+            asm.syscall(0);
+            asm.org(VirtAddr::new(0x40_0000 + (1 << 33))).unwrap();
+            for _ in 0..4 {
+                asm.nop();
+            }
+            asm.halt();
+        });
+        // With collision.
+        let mut core = fresh_core();
+        core.run(&mut machine, 10);
+        machine
+            .state_mut()
+            .set_pc(VirtAddr::new(0x40_0000 + (1 << 33)));
+        core.reset_frontend();
+        let start = core.cycle();
+        core.run(&mut machine, 10);
+        let with_collision = core.cycle() - start;
+
+        // Without priming the entry (fresh core).
+        let mut machine2 = assemble(|asm| {
+            asm.org(VirtAddr::new(0x40_0000 + (1 << 33))).unwrap();
+            for _ in 0..4 {
+                asm.nop();
+            }
+            asm.halt();
+        });
+        let mut core2 = fresh_core();
+        let start2 = core2.cycle();
+        core2.run(&mut machine2, 10);
+        let without_collision = core2.cycle() - start2;
+
+        assert!(
+            with_collision >= without_collision + fresh_core().config().timing.squash_penalty,
+            "false hit must cost a squash: {with_collision} vs {without_collision}"
+        );
+    }
+
+    #[test]
+    fn call_ret_pair_predicted_by_rsb() {
+        // Returns need a warm BTB entry *and* a matching RSB: the first
+        // execution mispredicts (cold BTB), a second one is clean.
+        let mut machine = assemble(|asm| {
+            asm.mov_ri(Reg::R10, 2);
+            asm.label("again");
+            asm.call("f");
+            asm.sub_ri8(Reg::R10, 1);
+            asm.cmp_ri8(Reg::R10, 0);
+            asm.jcc8(Cond::Ne, "again");
+            asm.halt();
+            asm.label("f");
+            asm.ret();
+        });
+        let mut core = Core::new(UarchConfig {
+            fusion: false,
+            ..UarchConfig::default()
+        });
+        let exit = core.run(&mut machine, 50);
+        assert_eq!(exit, RunExit::Halted);
+        let rets: Vec<_> = core
+            .lbr()
+            .iter()
+            .filter(|r| r.from == machine.program().symbol("f").unwrap())
+            .collect();
+        assert_eq!(rets.len(), 2, "two returns recorded");
+        assert!(rets[0].mispredicted, "cold return mispredicts");
+        assert!(!rets[1].mispredicted, "warm return is BTB+RSB predicted");
+    }
+
+    #[test]
+    fn lbr_elapsed_shows_mispredict_gap() {
+        // jmp -> ret back-to-back: after priming, elapsed is small; a
+        // deallocated entry makes the jmp unpredicted and elapsed grows.
+        let mut machine = assemble(|asm| {
+            asm.label("F1");
+            asm.jmp8("L1");
+            asm.label("L1");
+            asm.syscall(0);
+            asm.halt();
+        });
+        let mut core = fresh_core();
+        // First run: allocates.
+        core.run(&mut machine, 10);
+        // Second run: predicted.
+        machine.state_mut().set_pc(VirtAddr::new(0x40_0000));
+        core.reset_frontend();
+        core.lbr_mut().clear();
+        core.run(&mut machine, 10);
+        let predicted = core.lbr().find_from(VirtAddr::new(0x40_0000)).unwrap();
+        assert!(!predicted.mispredicted);
+
+        // Deallocate by hand and rerun: mispredicted, larger elapsed gap.
+        let hit = core.btb_mut().lookup(VirtAddr::new(0x40_0000)).unwrap();
+        core.btb_mut().deallocate(hit.set, hit.way);
+        machine.state_mut().set_pc(VirtAddr::new(0x40_0000));
+        core.reset_frontend();
+        core.lbr_mut().clear();
+        core.run(&mut machine, 10);
+        let mispredicted = core.lbr().find_from(VirtAddr::new(0x40_0000)).unwrap();
+        assert!(mispredicted.mispredicted);
+    }
+
+    #[test]
+    fn fusion_retires_cmp_jcc_as_one_step() {
+        let mut machine = assemble(|asm| {
+            asm.mov_ri(Reg::R0, 1);
+            asm.cmp_ri8(Reg::R0, 1);
+            asm.jcc8(Cond::Eq, "target");
+            asm.halt();
+            asm.label("target");
+            asm.halt();
+        });
+        let mut core = fresh_core();
+        let _mov = core.step(&mut machine);
+        let fused = core.step(&mut machine);
+        assert!(fused.fused(), "cmp+jcc retire together");
+        assert_eq!(fused.retired_count(), 2);
+        assert_eq!(core.stats().fused_pairs, 1);
+        assert_eq!(
+            fused.second.unwrap().taken,
+            Some(machine.program().symbol("target").unwrap())
+        );
+    }
+
+    #[test]
+    fn fusion_disabled_retires_separately() {
+        let mut machine = assemble(|asm| {
+            asm.cmp_ri8(Reg::R0, 0);
+            asm.jcc8(Cond::Eq, "t");
+            asm.label("t");
+            asm.halt();
+        });
+        let mut core = Core::new(UarchConfig {
+            fusion: false,
+            ..UarchConfig::default()
+        });
+        let step = core.step(&mut machine);
+        assert!(!step.fused());
+        assert_eq!(step.retired_count(), 1);
+    }
+
+    #[test]
+    fn speculation_deallocates_without_retiring() {
+        // Prime an entry aliasing the insts *after* a syscall; single-step
+        // the syscall; speculation must run ahead and deallocate.
+        let mut machine = assemble(|asm| {
+            asm.syscall(0); // 0x40_0000..0x40_0002
+            asm.nop(); // 0x40_0002
+            asm.nop();
+            asm.halt();
+        });
+        let mut core = fresh_core();
+        // Prime: entry whose low bits equal the nop at 0x40_0002.
+        use crate::btb::BranchKind;
+        core.btb_mut().allocate(
+            VirtAddr::new(0x40_0002 + (1 << 33)),
+            VirtAddr::new(0x9999),
+            BranchKind::DirectJump,
+        );
+        let step = core.step(&mut machine);
+        assert_eq!(step.syscall, Some(0));
+        let pc_before = machine.pc();
+        core.speculate_ahead(&machine, 4);
+        assert_eq!(machine.pc(), pc_before, "speculation is non-architectural");
+        assert!(
+            core.btb_mut()
+                .lookup(VirtAddr::new(0x40_0002))
+                .is_none(),
+            "speculative nop fetch deallocated the aliased entry"
+        );
+        assert!(core.stats().speculated > 0);
+    }
+
+    #[test]
+    fn speculative_stores_never_commit() {
+        let mut machine = assemble(|asm| {
+            asm.mov_ri(Reg::R1, 0x5000);
+            asm.syscall(0);
+            asm.mov_ri(Reg::R2, 77);
+            asm.store(Reg::R1, 0, Reg::R2);
+            asm.halt();
+        });
+        let mut core = fresh_core();
+        let exit = core.run(&mut machine, 10);
+        assert_eq!(exit, RunExit::Syscall(0));
+        core.speculate_ahead(&machine, 4);
+        assert_eq!(
+            machine.memory().read_u64(VirtAddr::new(0x5000)),
+            0,
+            "speculative store dropped"
+        );
+        // Architectural execution commits it.
+        core.run(&mut machine, 10);
+        assert_eq!(machine.memory().read_u64(VirtAddr::new(0x5000)), 77);
+    }
+
+    #[test]
+    fn mid_instruction_false_hit_deallocates() {
+        // Entry points at offset 2, which is *inside* the 7-byte mov at the
+        // aliased address: a mid-instruction false hit.
+        let mut machine = assemble(|asm| {
+            asm.mov_ri(Reg::R0, 1); // 7 bytes at 0x40_0000
+            asm.halt();
+        });
+        let mut core = fresh_core();
+        use crate::btb::BranchKind;
+        let alias = VirtAddr::new(0x40_0002 + (1 << 33));
+        core.btb_mut()
+            .allocate(alias, VirtAddr::new(0x1234), BranchKind::DirectJump);
+        core.run(&mut machine, 10);
+        assert!(core.btb_mut().lookup(VirtAddr::new(0x40_0002)).is_none());
+        assert!(core.stats().false_hit_deallocs >= 1);
+    }
+
+    #[test]
+    fn fault_on_garbage_pc() {
+        let mut machine = assemble(|asm| {
+            asm.nop();
+        });
+        machine.state_mut().set_pc(VirtAddr::new(0xdead_0000));
+        let mut core = fresh_core();
+        let step = core.step(&mut machine);
+        assert!(step.fault.is_some());
+        assert_eq!(step.retired_count(), 0);
+    }
+
+    #[test]
+    fn run_exits_on_step_limit() {
+        let mut machine = assemble(|asm| {
+            asm.label("spin");
+            asm.jmp8("spin");
+        });
+        let mut core = fresh_core();
+        assert_eq!(core.run(&mut machine, 50), RunExit::StepLimit);
+    }
+}

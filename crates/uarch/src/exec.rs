@@ -1,0 +1,504 @@
+//! Architectural state and the instruction executor.
+//!
+//! This is the *functional* half of the core: given an instruction and the
+//! architectural state, compute the next state and report the facts the
+//! front end and the OS need (taken transfers for the BTB, data accesses
+//! for the controlled channel, syscalls for the scheduler).
+
+use nv_isa::{Cond, Flags, Inst, Reg, VirtAddr};
+
+use crate::mem::Bus;
+
+/// The architectural register state of one hardware context.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ArchState {
+    regs: [u64; 16],
+    flags: Flags,
+    pc: VirtAddr,
+}
+
+impl ArchState {
+    /// Creates a state with all registers zero and the PC at `entry`.
+    pub fn new(entry: VirtAddr) -> Self {
+        ArchState {
+            regs: [0; 16],
+            flags: Flags::default(),
+            pc: entry,
+        }
+    }
+
+    /// Reads a register.
+    pub fn reg(&self, reg: Reg) -> u64 {
+        self.regs[reg.index() as usize]
+    }
+
+    /// Writes a register.
+    pub fn set_reg(&mut self, reg: Reg, value: u64) {
+        self.regs[reg.index() as usize] = value;
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> VirtAddr {
+        self.pc
+    }
+
+    /// Sets the program counter.
+    pub fn set_pc(&mut self, pc: VirtAddr) {
+        self.pc = pc;
+    }
+
+    /// Current flags.
+    pub fn flags(&self) -> Flags {
+        self.flags
+    }
+
+    /// Overwrites the flags.
+    pub fn set_flags(&mut self, flags: Flags) {
+        self.flags = flags;
+    }
+}
+
+/// Control-flow outcome of one executed instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ControlOutcome {
+    /// Not a control transfer.
+    NotTransfer,
+    /// A conditional branch that fell through.
+    NotTaken,
+    /// A taken transfer to `target`.
+    Taken {
+        /// Architectural target of the transfer.
+        target: VirtAddr,
+    },
+}
+
+impl ControlOutcome {
+    /// The target, if the instruction was a taken transfer.
+    pub fn taken_target(self) -> Option<VirtAddr> {
+        match self {
+            ControlOutcome::Taken { target } => Some(target),
+            _ => None,
+        }
+    }
+}
+
+/// A data-memory access performed by an instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MemAccess {
+    /// Accessed virtual address.
+    pub addr: VirtAddr,
+    /// `true` for stores (and the pushes of calls).
+    pub write: bool,
+}
+
+/// Everything the rest of the core needs to know about one execution.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ExecOutcome {
+    /// Architectural next PC (fall-through or taken target).
+    pub next_pc: VirtAddr,
+    /// Control-flow classification of what happened.
+    pub control: ControlOutcome,
+    /// Data access, if the instruction touched memory.
+    pub mem_access: Option<MemAccess>,
+    /// Syscall number, if the instruction was a `syscall`.
+    pub syscall: Option<u8>,
+    /// `true` if the instruction was `hlt`.
+    pub halt: bool,
+}
+
+/// Executes one instruction at `state.pc()`, updating registers, flags,
+/// memory and the PC.
+///
+/// The executor is deterministic and total: every instruction has defined
+/// semantics (shift counts are masked to 6 bits, arithmetic wraps).
+///
+/// # Examples
+///
+/// ```
+/// use nv_uarch::{execute, ArchState, Memory};
+/// use nv_isa::{Inst, Reg, VirtAddr};
+///
+/// let mut state = ArchState::new(VirtAddr::new(0x100));
+/// let mut mem = Memory::new();
+/// state.set_reg(Reg::R0, 41);
+/// let outcome = execute(&Inst::AddRi8(Reg::R0, 1), &mut state, &mut mem);
+/// assert_eq!(state.reg(Reg::R0), 42);
+/// assert_eq!(outcome.next_pc, VirtAddr::new(0x104));
+/// ```
+pub fn execute<M: Bus>(inst: &Inst, state: &mut ArchState, mem: &mut M) -> ExecOutcome {
+    let pc = state.pc();
+    let fall_through = pc.offset(inst.len() as u64);
+    let mut outcome = ExecOutcome {
+        next_pc: fall_through,
+        control: ControlOutcome::NotTransfer,
+        mem_access: None,
+        syscall: None,
+        halt: false,
+    };
+
+    let alu = |state: &mut ArchState, dst: Reg, value: u64, flags: Option<Flags>| {
+        state.set_reg(dst, value);
+        if let Some(flags) = flags {
+            state.set_flags(flags);
+        }
+    };
+
+    match *inst {
+        Inst::Nop | Inst::NopN(_) => {}
+        Inst::Halt => outcome.halt = true,
+        Inst::Syscall(code) => outcome.syscall = Some(code),
+        Inst::MovRr(d, s) => alu(state, d, state.reg(s), None),
+        Inst::MovRi(d, imm) => alu(state, d, imm as i64 as u64, None),
+        Inst::MovAbs(d, imm) => alu(state, d, imm, None),
+        Inst::Lea(d, b, disp) => {
+            let value = state.reg(b).wrapping_add(disp as i64 as u64);
+            alu(state, d, value, None);
+        }
+        Inst::AddRr(d, s) => {
+            let (a, b) = (state.reg(d), state.reg(s));
+            alu(state, d, a.wrapping_add(b), Some(Flags::from_add(a, b)));
+        }
+        Inst::SubRr(d, s) => {
+            let (a, b) = (state.reg(d), state.reg(s));
+            alu(state, d, a.wrapping_sub(b), Some(Flags::from_sub(a, b)));
+        }
+        Inst::AndRr(d, s) => {
+            let value = state.reg(d) & state.reg(s);
+            alu(state, d, value, Some(Flags::from_logic(value)));
+        }
+        Inst::OrRr(d, s) => {
+            let value = state.reg(d) | state.reg(s);
+            alu(state, d, value, Some(Flags::from_logic(value)));
+        }
+        Inst::XorRr(d, s) => {
+            let value = state.reg(d) ^ state.reg(s);
+            alu(state, d, value, Some(Flags::from_logic(value)));
+        }
+        Inst::AddRi8(d, imm) => {
+            let (a, b) = (state.reg(d), imm as i64 as u64);
+            alu(state, d, a.wrapping_add(b), Some(Flags::from_add(a, b)));
+        }
+        Inst::SubRi8(d, imm) => {
+            let (a, b) = (state.reg(d), imm as i64 as u64);
+            alu(state, d, a.wrapping_sub(b), Some(Flags::from_sub(a, b)));
+        }
+        Inst::AndRi8(d, imm) => {
+            let value = state.reg(d) & (imm as i64 as u64);
+            alu(state, d, value, Some(Flags::from_logic(value)));
+        }
+        Inst::OrRi8(d, imm) => {
+            let value = state.reg(d) | (imm as i64 as u64);
+            alu(state, d, value, Some(Flags::from_logic(value)));
+        }
+        Inst::XorRi8(d, imm) => {
+            let value = state.reg(d) ^ (imm as i64 as u64);
+            alu(state, d, value, Some(Flags::from_logic(value)));
+        }
+        Inst::AddRi32(d, imm) => {
+            let (a, b) = (state.reg(d), imm as i64 as u64);
+            alu(state, d, a.wrapping_add(b), Some(Flags::from_add(a, b)));
+        }
+        Inst::SubRi32(d, imm) => {
+            let (a, b) = (state.reg(d), imm as i64 as u64);
+            alu(state, d, a.wrapping_sub(b), Some(Flags::from_sub(a, b)));
+        }
+        Inst::ShlRi(d, imm) => {
+            let value = state.reg(d) << (imm & 63);
+            alu(state, d, value, Some(Flags::from_logic(value)));
+        }
+        Inst::ShrRi(d, imm) => {
+            let value = state.reg(d) >> (imm & 63);
+            alu(state, d, value, Some(Flags::from_logic(value)));
+        }
+        Inst::SarRi(d, imm) => {
+            let value = ((state.reg(d) as i64) >> (imm & 63)) as u64;
+            alu(state, d, value, Some(Flags::from_logic(value)));
+        }
+        Inst::MulRr(d, s) => {
+            let value = state.reg(d).wrapping_mul(state.reg(s));
+            alu(state, d, value, Some(Flags::from_logic(value)));
+        }
+        Inst::Neg(r) => {
+            let value = (state.reg(r) as i64).wrapping_neg() as u64;
+            alu(state, r, value, Some(Flags::from_sub(0, state.reg(r))));
+        }
+        Inst::Not(r) => {
+            let value = !state.reg(r);
+            alu(state, r, value, None);
+        }
+        Inst::CmpRr(a, b) => state.set_flags(Flags::from_cmp(state.reg(a), state.reg(b))),
+        Inst::CmpRi8(a, imm) => {
+            state.set_flags(Flags::from_cmp(state.reg(a), imm as i64 as u64));
+        }
+        Inst::CmpRi32(a, imm) => {
+            state.set_flags(Flags::from_cmp(state.reg(a), imm as i64 as u64));
+        }
+        Inst::TestRr(a, b) => state.set_flags(Flags::from_test(state.reg(a), state.reg(b))),
+        Inst::Load(d, b, disp) => {
+            let addr = VirtAddr::new(state.reg(b).wrapping_add(disp as i64 as u64));
+            let value = mem.read_u64(addr);
+            state.set_reg(d, value);
+            outcome.mem_access = Some(MemAccess { addr, write: false });
+        }
+        Inst::Load32(d, b, disp) => {
+            let addr = VirtAddr::new(state.reg(b).wrapping_add(disp as i64 as u64));
+            let value = mem.read_u64(addr);
+            state.set_reg(d, value);
+            outcome.mem_access = Some(MemAccess { addr, write: false });
+        }
+        Inst::Store(b, disp, s) => {
+            let addr = VirtAddr::new(state.reg(b).wrapping_add(disp as i64 as u64));
+            mem.write_u64(addr, state.reg(s));
+            outcome.mem_access = Some(MemAccess { addr, write: true });
+        }
+        Inst::Store32(b, disp, s) => {
+            let addr = VirtAddr::new(state.reg(b).wrapping_add(disp as i64 as u64));
+            mem.write_u64(addr, state.reg(s));
+            outcome.mem_access = Some(MemAccess { addr, write: true });
+        }
+        Inst::Push(r) => {
+            let sp = VirtAddr::new(state.reg(Reg::SP).wrapping_sub(8));
+            state.set_reg(Reg::SP, sp.value());
+            mem.write_u64(sp, state.reg(r));
+            outcome.mem_access = Some(MemAccess {
+                addr: sp,
+                write: true,
+            });
+        }
+        Inst::Pop(r) => {
+            let sp = VirtAddr::new(state.reg(Reg::SP));
+            let value = mem.read_u64(sp);
+            state.set_reg(r, value);
+            state.set_reg(Reg::SP, sp.value().wrapping_add(8));
+            outcome.mem_access = Some(MemAccess {
+                addr: sp,
+                write: false,
+            });
+        }
+        Inst::Jcc(cond, _) | Inst::Jcc32(cond, _) => {
+            outcome.control = eval_branch(cond, state.flags(), inst, pc);
+        }
+        Inst::JmpRel8(_) | Inst::JmpRel32(_) => {
+            let target = inst.direct_target(pc).expect("direct jump has target");
+            outcome.control = ControlOutcome::Taken { target };
+        }
+        Inst::CallRel32(_) => {
+            let target = inst.direct_target(pc).expect("direct call has target");
+            let sp = VirtAddr::new(state.reg(Reg::SP).wrapping_sub(8));
+            state.set_reg(Reg::SP, sp.value());
+            mem.write_u64(sp, fall_through.value());
+            outcome.mem_access = Some(MemAccess {
+                addr: sp,
+                write: true,
+            });
+            outcome.control = ControlOutcome::Taken { target };
+        }
+        Inst::JmpInd(r) => {
+            let target = VirtAddr::new(state.reg(r));
+            outcome.control = ControlOutcome::Taken { target };
+        }
+        Inst::CallInd(r) => {
+            let target = VirtAddr::new(state.reg(r));
+            let sp = VirtAddr::new(state.reg(Reg::SP).wrapping_sub(8));
+            state.set_reg(Reg::SP, sp.value());
+            mem.write_u64(sp, fall_through.value());
+            outcome.mem_access = Some(MemAccess {
+                addr: sp,
+                write: true,
+            });
+            outcome.control = ControlOutcome::Taken { target };
+        }
+        Inst::Setcc(cond, r) => {
+            let value = if cond.eval(state.flags()) { 1 } else { 0 };
+            state.set_reg(r, value);
+        }
+        Inst::Cmov(cond, d, s) => {
+            if cond.eval(state.flags()) {
+                let value = state.reg(s);
+                state.set_reg(d, value);
+            }
+        }
+        Inst::Ret => {
+            let sp = VirtAddr::new(state.reg(Reg::SP));
+            let target = VirtAddr::new(mem.read_u64(sp));
+            state.set_reg(Reg::SP, sp.value().wrapping_add(8));
+            outcome.mem_access = Some(MemAccess {
+                addr: sp,
+                write: false,
+            });
+            outcome.control = ControlOutcome::Taken { target };
+        }
+    }
+
+    if let ControlOutcome::Taken { target } = outcome.control {
+        outcome.next_pc = target;
+    }
+    state.set_pc(outcome.next_pc);
+    outcome
+}
+
+fn eval_branch(cond: Cond, flags: Flags, inst: &Inst, pc: VirtAddr) -> ControlOutcome {
+    if cond.eval(flags) {
+        let target = inst.direct_target(pc).expect("cond branch has target");
+        ControlOutcome::Taken { target }
+    } else {
+        ControlOutcome::NotTaken
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::Memory;
+
+    fn setup() -> (ArchState, Memory) {
+        let mut state = ArchState::new(VirtAddr::new(0x1000));
+        state.set_reg(Reg::SP, 0x8000_0000);
+        (state, Memory::new())
+    }
+
+    fn run(inst: Inst, state: &mut ArchState, mem: &mut Memory) -> ExecOutcome {
+        execute(&inst, state, mem)
+    }
+
+    #[test]
+    fn mov_and_arithmetic() {
+        let (mut state, mut mem) = setup();
+        run(Inst::MovRi(Reg::R1, -5), &mut state, &mut mem);
+        assert_eq!(state.reg(Reg::R1) as i64, -5);
+        run(Inst::MovRr(Reg::R2, Reg::R1), &mut state, &mut mem);
+        run(Inst::AddRr(Reg::R2, Reg::R1), &mut state, &mut mem);
+        assert_eq!(state.reg(Reg::R2) as i64, -10);
+        run(Inst::MulRr(Reg::R2, Reg::R1), &mut state, &mut mem);
+        assert_eq!(state.reg(Reg::R2) as i64, 50);
+        run(Inst::Neg(Reg::R2), &mut state, &mut mem);
+        assert_eq!(state.reg(Reg::R2) as i64, -50);
+    }
+
+    #[test]
+    fn pc_advances_by_length() {
+        let (mut state, mut mem) = setup();
+        let out = run(Inst::MovAbs(Reg::R0, 7), &mut state, &mut mem);
+        assert_eq!(out.next_pc, VirtAddr::new(0x100a));
+        assert_eq!(state.pc(), VirtAddr::new(0x100a));
+    }
+
+    #[test]
+    fn shifts_mask_their_count() {
+        let (mut state, mut mem) = setup();
+        state.set_reg(Reg::R0, 1);
+        run(Inst::ShlRi(Reg::R0, 65), &mut state, &mut mem);
+        assert_eq!(state.reg(Reg::R0), 2, "count masked to 6 bits");
+        state.set_reg(Reg::R1, u64::MAX);
+        run(Inst::SarRi(Reg::R1, 63), &mut state, &mut mem);
+        assert_eq!(state.reg(Reg::R1), u64::MAX, "arithmetic shift keeps sign");
+        run(Inst::ShrRi(Reg::R1, 63), &mut state, &mut mem);
+        assert_eq!(state.reg(Reg::R1), 1);
+    }
+
+    #[test]
+    fn push_pop_roundtrip() {
+        let (mut state, mut mem) = setup();
+        state.set_reg(Reg::R3, 0xabcd);
+        let out = run(Inst::Push(Reg::R3), &mut state, &mut mem);
+        assert_eq!(state.reg(Reg::SP), 0x8000_0000 - 8);
+        assert!(out.mem_access.unwrap().write);
+        run(Inst::Pop(Reg::R4), &mut state, &mut mem);
+        assert_eq!(state.reg(Reg::R4), 0xabcd);
+        assert_eq!(state.reg(Reg::SP), 0x8000_0000);
+    }
+
+    #[test]
+    fn load_store_report_addresses() {
+        let (mut state, mut mem) = setup();
+        state.set_reg(Reg::R1, 0x5000);
+        state.set_reg(Reg::R2, 99);
+        let out = run(Inst::Store(Reg::R1, 16, Reg::R2), &mut state, &mut mem);
+        assert_eq!(
+            out.mem_access,
+            Some(MemAccess {
+                addr: VirtAddr::new(0x5010),
+                write: true
+            })
+        );
+        let out = run(Inst::Load(Reg::R5, Reg::R1, 16), &mut state, &mut mem);
+        assert_eq!(state.reg(Reg::R5), 99);
+        assert!(!out.mem_access.unwrap().write);
+    }
+
+    #[test]
+    fn conditional_branches_follow_flags() {
+        let (mut state, mut mem) = setup();
+        state.set_reg(Reg::R0, 5);
+        run(Inst::CmpRi8(Reg::R0, 5), &mut state, &mut mem);
+        let pc = state.pc();
+        let out = run(Inst::Jcc(Cond::Eq, 0x10), &mut state, &mut mem);
+        assert_eq!(
+            out.control.taken_target(),
+            Some(pc.offset(2).offset_signed(0x10))
+        );
+        // Now a branch that is not taken.
+        let pc = state.pc();
+        let out = run(Inst::Jcc(Cond::Ne, 0x10), &mut state, &mut mem);
+        assert_eq!(out.control, ControlOutcome::NotTaken);
+        assert_eq!(out.next_pc, pc.offset(2));
+    }
+
+    #[test]
+    fn call_pushes_return_address_and_ret_pops_it() {
+        let (mut state, mut mem) = setup();
+        let out = run(Inst::CallRel32(0x100), &mut state, &mut mem);
+        let expected_ret = VirtAddr::new(0x1005);
+        assert_eq!(
+            out.control.taken_target(),
+            Some(VirtAddr::new(0x1105))
+        );
+        assert_eq!(mem.read_u64(VirtAddr::new(0x8000_0000 - 8)), expected_ret.value());
+        // Execute ret from wherever we are.
+        let out = run(Inst::Ret, &mut state, &mut mem);
+        assert_eq!(out.control.taken_target(), Some(expected_ret));
+        assert_eq!(state.pc(), expected_ret);
+        assert_eq!(state.reg(Reg::SP), 0x8000_0000);
+    }
+
+    #[test]
+    fn indirect_transfers_read_registers() {
+        let (mut state, mut mem) = setup();
+        state.set_reg(Reg::R7, 0x9999);
+        let out = run(Inst::JmpInd(Reg::R7), &mut state, &mut mem);
+        assert_eq!(out.control.taken_target(), Some(VirtAddr::new(0x9999)));
+        state.set_reg(Reg::R8, 0x7777);
+        let out = run(Inst::CallInd(Reg::R8), &mut state, &mut mem);
+        assert_eq!(out.control.taken_target(), Some(VirtAddr::new(0x7777)));
+    }
+
+    #[test]
+    fn syscall_and_halt_are_reported() {
+        let (mut state, mut mem) = setup();
+        let out = run(Inst::Syscall(3), &mut state, &mut mem);
+        assert_eq!(out.syscall, Some(3));
+        assert!(!out.halt);
+        let out = run(Inst::Halt, &mut state, &mut mem);
+        assert!(out.halt);
+    }
+
+    #[test]
+    fn lea_does_not_touch_memory() {
+        let (mut state, mut mem) = setup();
+        state.set_reg(Reg::R1, 0x4000);
+        let out = run(Inst::Lea(Reg::R0, Reg::R1, -16), &mut state, &mut mem);
+        assert_eq!(state.reg(Reg::R0), 0x3ff0);
+        assert!(out.mem_access.is_none());
+    }
+
+    #[test]
+    fn flags_survive_moves() {
+        let (mut state, mut mem) = setup();
+        state.set_reg(Reg::R0, 1);
+        run(Inst::CmpRi8(Reg::R0, 1), &mut state, &mut mem);
+        let flags = state.flags();
+        run(Inst::MovRi(Reg::R5, 42), &mut state, &mut mem);
+        run(Inst::Load(Reg::R6, Reg::SP, 0), &mut state, &mut mem);
+        assert_eq!(state.flags(), flags, "mov/load preserve flags");
+    }
+}

@@ -1,0 +1,209 @@
+//! Sparse byte-addressable data memory.
+//!
+//! Backed by 4 KiB pages allocated on first touch, so victim and attacker
+//! images can live gigabytes apart without materializing the gap.
+
+use std::collections::HashMap;
+
+use nv_isa::{VirtAddr, PAGE_BYTES};
+
+/// Byte-addressable data-memory interface used by the executor.
+///
+/// Two implementations exist: [`Memory`] (the real backing store) and
+/// [`SpecOverlay`] (a copy-on-write view used while the front end runs ahead
+/// speculatively — speculative stores must not become architectural).
+pub trait Bus {
+    /// Reads one byte.
+    fn read_u8(&self, addr: VirtAddr) -> u8;
+    /// Writes one byte.
+    fn write_u8(&mut self, addr: VirtAddr, value: u8);
+
+    /// Reads a little-endian `u64`.
+    fn read_u64(&self, addr: VirtAddr) -> u64 {
+        let mut bytes = [0u8; 8];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = self.read_u8(addr.offset(i as u64));
+        }
+        u64::from_le_bytes(bytes)
+    }
+
+    /// Writes a little-endian `u64`.
+    fn write_u64(&mut self, addr: VirtAddr, value: u64) {
+        for (i, b) in value.to_le_bytes().into_iter().enumerate() {
+            self.write_u8(addr.offset(i as u64), b);
+        }
+    }
+}
+
+/// A speculative view over a [`Memory`]: reads fall through, writes land in
+/// a private overlay that is discarded when speculation ends.
+#[derive(Debug)]
+pub struct SpecOverlay<'a> {
+    base: &'a Memory,
+    overlay: HashMap<u64, u8>,
+}
+
+impl<'a> SpecOverlay<'a> {
+    /// Creates an overlay over `base`.
+    pub fn new(base: &'a Memory) -> Self {
+        SpecOverlay {
+            base,
+            overlay: HashMap::new(),
+        }
+    }
+
+    /// Number of speculatively written bytes.
+    pub fn dirty_bytes(&self) -> usize {
+        self.overlay.len()
+    }
+}
+
+impl Bus for SpecOverlay<'_> {
+    fn read_u8(&self, addr: VirtAddr) -> u8 {
+        match self.overlay.get(&addr.value()) {
+            Some(&b) => b,
+            None => self.base.read_u8(addr),
+        }
+    }
+
+    fn write_u8(&mut self, addr: VirtAddr, value: u8) {
+        self.overlay.insert(addr.value(), value);
+    }
+}
+
+impl Bus for Memory {
+    fn read_u8(&self, addr: VirtAddr) -> u8 {
+        Memory::read_u8(self, addr)
+    }
+
+    fn write_u8(&mut self, addr: VirtAddr, value: u8) {
+        Memory::write_u8(self, addr, value);
+    }
+}
+
+/// Sparse 64-bit data memory.
+///
+/// Reads of untouched memory return zero, like freshly mapped anonymous
+/// pages.
+///
+/// # Examples
+///
+/// ```
+/// use nv_uarch::Memory;
+/// use nv_isa::VirtAddr;
+///
+/// let mut mem = Memory::new();
+/// mem.write_u64(VirtAddr::new(0x7fff_0000), 0xdead_beef);
+/// assert_eq!(mem.read_u64(VirtAddr::new(0x7fff_0000)), 0xdead_beef);
+/// assert_eq!(mem.read_u64(VirtAddr::new(0x1234)), 0);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8; PAGE_BYTES as usize]>>,
+}
+
+impl Memory {
+    /// Creates empty memory.
+    pub fn new() -> Self {
+        Memory::default()
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: VirtAddr) -> u8 {
+        match self.pages.get(&addr.page_number()) {
+            Some(page) => page[addr.page_offset() as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte, allocating the page on demand.
+    pub fn write_u8(&mut self, addr: VirtAddr, value: u8) {
+        let page = self
+            .pages
+            .entry(addr.page_number())
+            .or_insert_with(|| Box::new([0; PAGE_BYTES as usize]));
+        page[addr.page_offset() as usize] = value;
+    }
+
+    /// Reads a little-endian `u64` (may straddle a page boundary).
+    pub fn read_u64(&self, addr: VirtAddr) -> u64 {
+        let mut bytes = [0u8; 8];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = self.read_u8(addr.offset(i as u64));
+        }
+        u64::from_le_bytes(bytes)
+    }
+
+    /// Writes a little-endian `u64` (may straddle a page boundary).
+    pub fn write_u64(&mut self, addr: VirtAddr, value: u64) {
+        for (i, b) in value.to_le_bytes().into_iter().enumerate() {
+            self.write_u8(addr.offset(i as u64), b);
+        }
+    }
+
+    /// Copies a byte slice into memory starting at `addr`.
+    pub fn write_bytes(&mut self, addr: VirtAddr, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_u8(addr.offset(i as u64), b);
+        }
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    pub fn read_bytes(&self, addr: VirtAddr, len: usize) -> Vec<u8> {
+        (0..len).map(|i| self.read_u8(addr.offset(i as u64))).collect()
+    }
+
+    /// Number of resident (touched) pages.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_initialized() {
+        let mem = Memory::new();
+        assert_eq!(mem.read_u8(VirtAddr::new(12345)), 0);
+        assert_eq!(mem.read_u64(VirtAddr::new(u64::MAX - 16)), 0);
+        assert_eq!(mem.resident_pages(), 0);
+    }
+
+    #[test]
+    fn u64_roundtrip_within_page() {
+        let mut mem = Memory::new();
+        mem.write_u64(VirtAddr::new(0x1000), 0x0102_0304_0506_0708);
+        assert_eq!(mem.read_u64(VirtAddr::new(0x1000)), 0x0102_0304_0506_0708);
+        // Little-endian byte order.
+        assert_eq!(mem.read_u8(VirtAddr::new(0x1000)), 0x08);
+        assert_eq!(mem.read_u8(VirtAddr::new(0x1007)), 0x01);
+    }
+
+    #[test]
+    fn u64_straddles_pages() {
+        let mut mem = Memory::new();
+        let addr = VirtAddr::new(0x1ffc);
+        mem.write_u64(addr, u64::MAX);
+        assert_eq!(mem.read_u64(addr), u64::MAX);
+        assert_eq!(mem.resident_pages(), 2);
+    }
+
+    #[test]
+    fn sparse_pages_far_apart() {
+        let mut mem = Memory::new();
+        mem.write_u8(VirtAddr::new(0), 1);
+        mem.write_u8(VirtAddr::new(1 << 40), 2);
+        assert_eq!(mem.resident_pages(), 2);
+        assert_eq!(mem.read_u8(VirtAddr::new(1 << 40)), 2);
+    }
+
+    #[test]
+    fn bulk_bytes_roundtrip() {
+        let mut mem = Memory::new();
+        let data: Vec<u8> = (0..=255).collect();
+        mem.write_bytes(VirtAddr::new(0x2ff0), &data);
+        assert_eq!(mem.read_bytes(VirtAddr::new(0x2ff0), 256), data);
+    }
+}

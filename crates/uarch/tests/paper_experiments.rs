@@ -1,0 +1,374 @@
+//! End-to-end reproductions of the paper's two reverse-engineering
+//! experiments (§2.3 Figure 1/2 and §2.4 Figure 3/4), asserting the exact
+//! collision boundaries the paper reports.
+//!
+//! These tests are the ground truth behind the `repro_fig2` and
+//! `repro_fig4` benchmark binaries in `nv-bench`.
+
+use nv_isa::{Assembler, VirtAddr};
+use nv_uarch::{Core, Machine, RunExit, UarchConfig};
+
+/// Base of the F1 region (victim jump).
+const B1: u64 = 0x40_0000;
+/// Base of the F2 region: 8 GiB away, so low 33 bits match B1's.
+const B2: u64 = B1 + (1 << 33);
+/// Driver code lives in a non-aliasing region.
+const DRIVER: u64 = 0x10_0000;
+
+/// Builds the Experiment 1 program (Figure 1 of the paper):
+///
+/// ```text
+/// F1:  jmp L1        // [F1, F1+1]
+/// L1:  ret
+/// <8 GiB padding>
+/// F2:  nop; ...; nop // [F2, L2-1]
+/// L2:  ret
+/// ```
+///
+/// plus three driver stubs that call F1, F2 and F1 again.
+fn experiment1_program(f1_off: u64, f2_off: u64, l2_off: u64) -> nv_isa::Program {
+    assert!(f1_off + 2 <= l2_off, "paper constraint: F1 <= L2 - 2");
+    let mut asm = Assembler::new(VirtAddr::new(DRIVER));
+    asm.label("drv_f1_first");
+    asm.call("F1");
+    asm.syscall(1);
+    asm.label("drv_f2");
+    // F2 is 8 GiB away: out of rel32 reach, call indirectly.
+    asm.mov_label(nv_isa::Reg::R9, "F2");
+    asm.call_ind(nv_isa::Reg::R9);
+    asm.syscall(2);
+    asm.label("drv_f1_second");
+    asm.call("F1");
+    asm.syscall(3);
+
+    asm.org(VirtAddr::new(B1 + f1_off)).unwrap();
+    asm.label("F1");
+    asm.jmp8("L1");
+    asm.pad_to(VirtAddr::new(B1 + f1_off + 8));
+    asm.label("L1");
+    asm.ret();
+
+    asm.org(VirtAddr::new(B2 + f2_off)).unwrap();
+    asm.label("F2");
+    asm.pad_to(VirtAddr::new(B2 + l2_off));
+    asm.label("L2");
+    asm.ret();
+
+    asm.finish().expect("experiment 1 assembles")
+}
+
+/// Runs one Experiment 1 iteration and returns the elapsed-cycles field of
+/// the LBR record for the `ret` following the second execution of
+/// `jmp L1` — exactly the measurement of Figure 2. `call_f2` toggles the
+/// baseline (blue line) vs. the full experiment (orange line).
+fn experiment1_elapsed(f1_off: u64, f2_off: u64, l2_off: u64, call_f2: bool) -> u64 {
+    let program = experiment1_program(f1_off, f2_off, l2_off);
+    let drv1 = program.symbol("drv_f1_first").unwrap();
+    let drv2 = program.symbol("drv_f2").unwrap();
+    let drv3 = program.symbol("drv_f1_second").unwrap();
+    let l1 = program.symbol("L1").unwrap();
+    let mut machine = Machine::new(program);
+    let mut core = Core::new(UarchConfig::default());
+
+    core.btb_mut().flush(); // line 12 of Figure 1
+    machine.state_mut().set_pc(drv1);
+    core.reset_frontend();
+    assert_eq!(core.run(&mut machine, 100), RunExit::Syscall(1));
+    if call_f2 {
+        machine.state_mut().set_pc(drv2);
+        core.reset_frontend();
+        assert_eq!(core.run(&mut machine, 100), RunExit::Syscall(2));
+    }
+    core.lbr_mut().clear();
+    machine.state_mut().set_pc(drv3);
+    core.reset_frontend();
+    assert_eq!(core.run(&mut machine, 100), RunExit::Syscall(3));
+
+    core.lbr()
+        .find_from(l1)
+        .expect("ret after jmp L1 was recorded")
+        .elapsed
+}
+
+#[test]
+fn experiment1_collision_boundary_is_f1_plus_2() {
+    // Figure 2: the orange line exceeds the blue line exactly when
+    // F2 < F1 + 2, i.e. when some nop in F2 overlaps the jump's two bytes.
+    let f1 = 0x10;
+    let l2 = 0x18;
+    let baseline = experiment1_elapsed(f1, 0, l2, false);
+    for f2 in 0..=0x16u64 {
+        let measured = experiment1_elapsed(f1, f2, l2, true);
+        if f2 < f1 + 2 {
+            assert!(
+                measured > baseline,
+                "F2 = {f2:#x}: collision must deallocate the entry \
+                 (measured {measured}, baseline {baseline})"
+            );
+        } else {
+            assert_eq!(
+                measured, baseline,
+                "F2 = {f2:#x}: no collision, jmp L1 stays predicted"
+            );
+        }
+    }
+}
+
+#[test]
+fn experiment1_baseline_is_flat() {
+    // The blue line of Figure 2 does not depend on F2.
+    let f1 = 0x10;
+    let l2 = 0x18;
+    let values: Vec<u64> = (0..=0x16)
+        .map(|f2| experiment1_elapsed(f1, f2, l2, false))
+        .collect();
+    assert!(values.windows(2).all(|w| w[0] == w[1]), "{values:?}");
+}
+
+#[test]
+fn experiment1_holds_for_other_f1_values() {
+    // §2.3: "The same pattern remains when varying F1 and L2."
+    for f1 in [0x00u64, 0x04, 0x0c, 0x14] {
+        let l2 = 0x1c;
+        let baseline = experiment1_elapsed(f1, (f1 + 4).min(0x1a), l2, false);
+        // Colliding point.
+        let hit = experiment1_elapsed(f1, f1, l2, true);
+        assert!(hit > baseline, "F1 = {f1:#x} collision");
+        // One byte past the jump: no collision.
+        if f1 + 2 <= 0x16 {
+            let miss = experiment1_elapsed(f1, f1 + 2, l2, true);
+            assert_eq!(miss, baseline, "F1 = {f1:#x} non-collision");
+        }
+    }
+}
+
+#[test]
+fn experiment1_holds_across_generations() {
+    // §2.3: consistent across SkyLake..IceLake, with the aliasing distance
+    // growing to 16 GiB on IceLake.
+    use nv_uarch::CpuGeneration;
+    for generation in CpuGeneration::all() {
+        let shift = generation.tag_cutoff_bit();
+        let b2 = B1 + (1u64 << shift);
+        let mut asm = Assembler::new(VirtAddr::new(DRIVER));
+        asm.label("drv1");
+        asm.call("F1");
+        asm.syscall(1);
+        asm.label("drv2");
+        asm.mov_label(nv_isa::Reg::R9, "F2");
+        asm.call_ind(nv_isa::Reg::R9);
+        asm.syscall(2);
+        asm.label("drv3");
+        asm.call("F1");
+        asm.syscall(3);
+        asm.org(VirtAddr::new(B1 + 0x10)).unwrap();
+        asm.label("F1");
+        asm.jmp8("L1");
+        asm.pad_to(VirtAddr::new(B1 + 0x18));
+        asm.label("L1");
+        asm.ret();
+        asm.org(VirtAddr::new(b2 + 0x10)).unwrap();
+        asm.label("F2");
+        asm.pad_to(VirtAddr::new(b2 + 0x18));
+        asm.label("L2");
+        asm.ret();
+        let program = asm.finish().unwrap();
+
+        let mut machine = Machine::new(program.clone());
+        let mut core = Core::new(UarchConfig::for_generation(generation));
+        machine.state_mut().set_pc(program.symbol("drv1").unwrap());
+        core.run(&mut machine, 100);
+        machine.state_mut().set_pc(program.symbol("drv2").unwrap());
+        core.reset_frontend();
+        core.run(&mut machine, 100);
+        core.lbr_mut().clear();
+        machine.state_mut().set_pc(program.symbol("drv3").unwrap());
+        core.reset_frontend();
+        core.run(&mut machine, 100);
+        let record = core
+            .lbr()
+            .find_from(program.symbol("L1").unwrap())
+            .unwrap();
+        assert!(
+            record.mispredicted || record.elapsed > 4,
+            "{generation:?}: aliased nops at the generation's cutoff \
+             distance must deallocate the entry"
+        );
+    }
+}
+
+/// Builds the Experiment 2 program (Figure 3 of the paper):
+///
+/// ```text
+/// F1:  nop; ...; nop   // F1 in [0, 0x1e], nops up to J1
+/// J1:  jmp L1          // fixed at [0x1e, 0x1f]
+/// L1:  ret
+/// <8 GiB padding>
+/// F2:  jmp L2          // [F2, F2+1], F2 in [0, 0x1c]
+/// L2:  ret
+/// ```
+fn experiment2_program(f1_off: u64, f2_off: u64) -> nv_isa::Program {
+    assert!(f1_off <= 0x1e && f2_off <= 0x1c);
+    let mut asm = Assembler::new(VirtAddr::new(DRIVER));
+    asm.label("drv_j1");
+    asm.call("J1");
+    asm.syscall(1);
+    asm.label("drv_f2");
+    asm.mov_label(nv_isa::Reg::R9, "F2");
+    asm.call_ind(nv_isa::Reg::R9);
+    asm.syscall(2);
+    asm.label("drv_f1");
+    asm.call("F1");
+    asm.syscall(3);
+
+    asm.org(VirtAddr::new(B1 + f1_off)).unwrap();
+    asm.label("F1");
+    asm.pad_to(VirtAddr::new(B1 + 0x1e));
+    asm.label("J1");
+    asm.jmp8("L1"); // [0x1e, 0x1f]
+    asm.label("L1"); // 0x20
+    asm.ret();
+
+    asm.org(VirtAddr::new(B2 + f2_off)).unwrap();
+    asm.label("F2");
+    asm.jmp8("L2");
+    asm.pad_to(VirtAddr::new(B2 + 0x20));
+    asm.label("L2");
+    asm.ret();
+
+    asm.finish().expect("experiment 2 assembles")
+}
+
+/// Runs one Experiment 2 iteration: the elapsed cycles between the retire
+/// of the call to F1 (line 17 of Figure 3) and the return after `jmp L1` —
+/// the Figure 4 measurement. The LBR interval is the sum of the elapsed
+/// fields of the records after the call's record.
+fn experiment2_elapsed(f1_off: u64, f2_off: u64, call_f2: bool) -> u64 {
+    let program = experiment2_program(f1_off, f2_off);
+    let drv_j1 = program.symbol("drv_j1").unwrap();
+    let drv_f2 = program.symbol("drv_f2").unwrap();
+    let drv_f1 = program.symbol("drv_f1").unwrap();
+    let l1 = program.symbol("L1").unwrap();
+    let mut machine = Machine::new(program);
+    let mut core = Core::new(UarchConfig::default());
+
+    core.btb_mut().flush(); // line 14
+    machine.state_mut().set_pc(drv_j1); // line 15: allocate a BTB entry
+    core.reset_frontend();
+    assert_eq!(core.run(&mut machine, 100), RunExit::Syscall(1));
+    if call_f2 {
+        machine.state_mut().set_pc(drv_f2); // line 16: allocate another
+        core.reset_frontend();
+        assert_eq!(core.run(&mut machine, 100), RunExit::Syscall(2));
+    }
+    core.lbr_mut().clear();
+    machine.state_mut().set_pc(drv_f1); // line 17: observe
+    core.reset_frontend();
+    assert_eq!(core.run(&mut machine, 100), RunExit::Syscall(3));
+
+    // Records: call drv_f1 -> F1, then jmp L1 -> L1, then ret L1 -> driver.
+    // The interval from the call's retire to the ret's retire is the sum of
+    // the elapsed fields of the records that follow the call's.
+    let records: Vec<_> = core.lbr().iter().collect();
+    let call_idx = records
+        .iter()
+        .position(|r| r.from == drv_f1)
+        .expect("call recorded");
+    let ret_idx = records
+        .iter()
+        .position(|r| r.from == l1)
+        .expect("ret after jmp L1 recorded");
+    assert!(ret_idx > call_idx);
+    records[call_idx + 1..=ret_idx]
+        .iter()
+        .map(|r| r.elapsed)
+        .sum()
+}
+
+#[test]
+fn experiment2_misprediction_boundary_is_f2_plus_2() {
+    // Figure 4: with F2's entry present, executing the PW from F1 behaves
+    // as if F2 never ran when F1 > F2 + 1, and suffers a constant extra
+    // penalty when F1 < F2 + 2.
+    let f2 = 0x08;
+    for f1 in 0..=0x1eu64 {
+        let baseline = experiment2_elapsed(f1, f2, false);
+        let measured = experiment2_elapsed(f1, f2, true);
+        if f1 < f2 + 2 {
+            assert!(
+                measured > baseline,
+                "F1 = {f1:#x}: jmp L2's entry is selected for the PW and \
+                 must mispredict (measured {measured}, baseline {baseline})"
+            );
+        } else {
+            assert_eq!(
+                measured, baseline,
+                "F1 = {f1:#x}: PW starts past jmp L2's entry; no effect"
+            );
+        }
+    }
+}
+
+#[test]
+fn experiment2_baseline_decreases_with_f1() {
+    // The blue line of Figure 4 decreases as F1 grows (fewer nops).
+    let f2 = 0x00;
+    let values: Vec<u64> = (0..=0x1e)
+        .map(|f1| experiment2_elapsed(f1, f2, false))
+        .collect();
+    assert!(
+        values.windows(2).all(|w| w[0] >= w[1]),
+        "baseline must be non-increasing: {values:?}"
+    );
+    assert!(values[0] > values[0x1e], "strictly fewer cycles overall");
+}
+
+#[test]
+fn experiment2_extra_cost_is_constant() {
+    // §2.4: the misprediction causes "a constant increase in the elapsed
+    // cycles" across all colliding F1 values.
+    let f2 = 0x0c;
+    let penalties: Vec<u64> = (0..=(f2 + 1))
+        .map(|f1| {
+            let baseline = experiment2_elapsed(f1, f2, false);
+            let measured = experiment2_elapsed(f1, f2, true);
+            measured - baseline
+        })
+        .collect();
+    assert!(
+        penalties.windows(2).all(|w| w[0] == w[1]),
+        "constant penalty expected: {penalties:?}"
+    );
+}
+
+#[test]
+fn experiment2_entry_for_jmp_l1_survives() {
+    // §2.4: the execution of jmp L2 "should not affect the BTB entry
+    // allocated for jmp L1" — they differ in offset, so both coexist, and
+    // the false hit deallocates only jmp L2's entry.
+    let program = experiment2_program(0x00, 0x08);
+    let drv_j1 = program.symbol("drv_j1").unwrap();
+    let drv_f2 = program.symbol("drv_f2").unwrap();
+    let drv_f1 = program.symbol("drv_f1").unwrap();
+    let j1 = program.symbol("J1").unwrap();
+    let f2 = program.symbol("F2").unwrap();
+    let mut machine = Machine::new(program);
+    let mut core = Core::new(UarchConfig::default());
+
+    for (driver, _sys) in [(drv_j1, 1u8), (drv_f2, 2), (drv_f1, 3)] {
+        machine.state_mut().set_pc(driver);
+        core.reset_frontend();
+        core.run(&mut machine, 100);
+    }
+    // jmp L1's entry survives (indexed by its end byte at offset 0x1f).
+    assert!(
+        core.btb().entry_at(j1.offset(1)).is_some(),
+        "jmp L1's entry must survive the whole experiment"
+    );
+    // jmp L2's entry (end byte at F2+1) was deallocated by the false hit
+    // during F1's prediction window.
+    assert!(
+        core.btb().entry_at(f2.offset(1)).is_none(),
+        "jmp L2's entry must be deallocated by the nops' false hit"
+    );
+}

@@ -1,0 +1,220 @@
+//! Host-side reference implementations of the victim algorithms.
+//!
+//! These mirror the ISA victims instruction-for-instruction at the
+//! algorithmic level, providing the **ground-truth branch directions** the
+//! evaluation scores attack accuracy against (the paper's 99.3 % / 100 %
+//! numbers in §7.2 are accuracies against exactly this kind of ground
+//! truth).
+
+/// Result of the binary-GCD reference run: the gcd and the direction taken
+/// by the balanced branch at each loop iteration (`true` = the
+/// `TA >= TB` side).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct GcdTrace {
+    /// `gcd(a, b)`.
+    pub gcd: u64,
+    /// Per-iteration balanced-branch directions.
+    pub directions: Vec<bool>,
+}
+
+/// Reference binary GCD in the structure of `mbedtls_mpi_gcd`: strip
+/// factors of two, then a perfectly balanced subtract-and-halve whose
+/// branch depends on the (secret) operand values.
+///
+/// # Panics
+///
+/// Panics if either operand is zero (mirroring the victim's precondition;
+/// RSA key generation always calls it with nonzero values).
+///
+/// # Examples
+///
+/// ```
+/// use nv_victims::bignum::gcd_trace;
+///
+/// let trace = gcd_trace(48, 18);
+/// assert_eq!(trace.gcd, 6);
+/// assert!(!trace.directions.is_empty());
+/// ```
+pub fn gcd_trace(a: u64, b: u64) -> GcdTrace {
+    assert!(a != 0 && b != 0, "gcd operands must be nonzero");
+    // mbedTLS first records the shared power of two (`lz`), restored at
+    // the end — stripping twos per-iteration would otherwise discard it.
+    let common_shift = (a | b).trailing_zeros();
+    let (mut ta, mut tb) = (a, b);
+    let mut directions = Vec::new();
+    while ta != 0 {
+        ta >>= ta.trailing_zeros();
+        tb >>= tb.trailing_zeros();
+        if ta >= tb {
+            directions.push(true);
+            ta = (ta - tb) >> 1;
+        } else {
+            directions.push(false);
+            tb = (tb - ta) >> 1;
+        }
+    }
+    GcdTrace {
+        gcd: tb << common_shift,
+        directions,
+    }
+}
+
+/// The restructured GCD used by "library versions ≥ 2.16" in the Figure 13
+/// study: same mathematical function, different operation ordering
+/// (subtract first, strip twos afterwards), hence different code layout
+/// *and* a different direction trace.
+pub fn gcd_trace_v2(a: u64, b: u64) -> GcdTrace {
+    assert!(a != 0 && b != 0, "gcd operands must be nonzero");
+    let mut u = a >> a.trailing_zeros();
+    let mut v = b >> b.trailing_zeros();
+    let mut directions = Vec::new();
+    while u != v {
+        if u > v {
+            directions.push(true);
+            u -= v;
+            u >>= u.trailing_zeros();
+        } else {
+            directions.push(false);
+            v -= u;
+            v >>= v.trailing_zeros();
+        }
+    }
+    // Reconstruct the shared power of two.
+    let shift = (a | b).trailing_zeros().min(a.trailing_zeros().min(b.trailing_zeros()));
+    GcdTrace {
+        gcd: u << shift,
+        directions,
+    }
+}
+
+/// Result of the big-number comparison reference.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BnCmpTrace {
+    /// `-1`, `0` or `1` as in IPP's big-number compare.
+    pub ordering: i32,
+    /// Direction of the final balanced decision branch, if the numbers
+    /// differ (`true` = the "greater" side executed).
+    pub decision: Option<bool>,
+    /// Index of the most significant differing limb, if any.
+    pub differing_limb: Option<usize>,
+}
+
+/// Reference big-number compare in the structure of IPP-Crypto's
+/// `bn_cmp`: scan limbs from most significant; at the first difference a
+/// balanced branch selects the result.
+///
+/// # Panics
+///
+/// Panics if the operands have different limb counts.
+///
+/// # Examples
+///
+/// ```
+/// use nv_victims::bignum::bn_cmp_trace;
+///
+/// let trace = bn_cmp_trace(&[1, 2], &[1, 3]);
+/// assert_eq!(trace.ordering, -1);
+/// assert_eq!(trace.decision, Some(false));
+/// ```
+pub fn bn_cmp_trace(a: &[u64], b: &[u64]) -> BnCmpTrace {
+    assert_eq!(a.len(), b.len(), "operands must have equal limb counts");
+    for i in (0..a.len()).rev() {
+        if a[i] != b[i] {
+            let greater = a[i] > b[i];
+            return BnCmpTrace {
+                ordering: if greater { 1 } else { -1 },
+                decision: Some(greater),
+                differing_limb: Some(i),
+            };
+        }
+    }
+    BnCmpTrace {
+        ordering: 0,
+        decision: None,
+        differing_limb: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_gcd(a: u64, b: u64) -> u64 {
+        let (mut a, mut b) = (a, b);
+        while b != 0 {
+            let t = a % b;
+            a = b;
+            b = t;
+        }
+        a
+    }
+
+    #[test]
+    fn gcd_matches_euclid() {
+        let cases = [
+            (48, 18),
+            (17, 13),
+            (1, 1),
+            (1 << 20, 3),
+            (600, 1080),
+            (65537, 0xdead_beef),
+            (u64::MAX, 3),
+        ];
+        for (a, b) in cases {
+            assert_eq!(gcd_trace(a, b).gcd, reference_gcd(a, b), "gcd({a},{b})");
+            assert_eq!(gcd_trace_v2(a, b).gcd, reference_gcd(a, b), "v2 gcd({a},{b})");
+        }
+    }
+
+    #[test]
+    fn thirty_ish_iterations_for_32_bit_inputs() {
+        // §7.2: RSA keygen "on average loops over the vulnerable branch 30
+        // times in GCD". 32-bit operands land in that regime.
+        let mut total = 0usize;
+        let mut count = 0usize;
+        let mut x = 0x1234_5678u64;
+        for _ in 0..100 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let a = (x >> 16) as u32 as u64 | 1;
+            let b = (x >> 32) as u32 as u64 | 1;
+            total += gcd_trace(a, b).directions.len();
+            count += 1;
+        }
+        let avg = total / count;
+        assert!(
+            (20..=45).contains(&avg),
+            "average iteration count {avg} should be around 30"
+        );
+    }
+
+    #[test]
+    fn v1_and_v2_traces_differ() {
+        // The 2.16 implementation change must actually change behaviour at
+        // the trace level for Figure 13's cross-version dip to make sense.
+        let t1 = gcd_trace(0xdead_beef, 0x1234_5671);
+        let t2 = gcd_trace_v2(0xdead_beef, 0x1234_5671);
+        assert_eq!(t1.gcd, t2.gcd);
+        assert_ne!(t1.directions, t2.directions);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_operand_panics() {
+        gcd_trace(0, 5);
+    }
+
+    #[test]
+    fn bn_cmp_orderings() {
+        assert_eq!(bn_cmp_trace(&[5], &[5]).ordering, 0);
+        assert_eq!(bn_cmp_trace(&[5], &[5]).decision, None);
+        assert_eq!(bn_cmp_trace(&[0, 1], &[u64::MAX, 0]).ordering, 1);
+        assert_eq!(bn_cmp_trace(&[1, 2, 3], &[1, 9, 3]).differing_limb, Some(1));
+        assert_eq!(bn_cmp_trace(&[1, 9, 3], &[1, 2, 3]).decision, Some(true));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal limb counts")]
+    fn bn_cmp_rejects_mismatched_lengths() {
+        bn_cmp_trace(&[1], &[1, 2]);
+    }
+}

@@ -1,0 +1,290 @@
+//! The IPP-Crypto-style big-number comparison victim (§7.2).
+//!
+//! `bn_cmp` scans limbs from most significant to least; at the first
+//! difference a perfectly balanced branch selects the comparison result.
+//! The *direction* of that branch is the secret predicate the paper leaks
+//! with 100 % accuracy.
+
+use nv_isa::{Assembler, Cond, IsaError, Reg};
+
+use crate::bignum::bn_cmp_trace;
+use crate::config::{BranchConstruct, VictimConfig};
+use crate::victim::VictimProgram;
+
+/// Base address of operand A's limbs in victim data memory.
+const A_BASE: u64 = 0x50_0000;
+/// Base address of operand B's limbs.
+const B_BASE: u64 = 0x50_1000;
+
+/// Builder for the bn_cmp victim.
+///
+/// # Examples
+///
+/// ```
+/// use nv_victims::{BnCmpVictim, VictimConfig};
+///
+/// # fn main() -> Result<(), nv_isa::IsaError> {
+/// let victim = BnCmpVictim::build(&[1, 2], &[1, 3], &VictimConfig::paper_hardened())?;
+/// assert_eq!(victim.expected_result() as i64, -1);
+/// assert_eq!(victim.directions(), &[false]); // "less" side executed
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct BnCmpVictim;
+
+impl BnCmpVictim {
+    /// Builds the victim comparing the two limb vectors (little-endian
+    /// limb order, most significant limb last) under the given defenses.
+    ///
+    /// # Errors
+    ///
+    /// Propagates assembly errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands are empty or of different lengths (the
+    /// victim's precondition).
+    pub fn build(
+        a: &[u64],
+        b: &[u64],
+        config: &VictimConfig,
+    ) -> Result<VictimProgram, IsaError> {
+        assert!(!a.is_empty() && a.len() == b.len(), "equal nonzero limb counts");
+        let trace = bn_cmp_trace(a, b);
+        let mut asm = Assembler::new(config.base);
+
+        // main: materialize the operands in data memory, then call.
+        asm.label("main");
+        asm.entry_here();
+        asm.mov_abs(Reg::R1, A_BASE);
+        asm.mov_abs(Reg::R2, B_BASE);
+        for (i, &limb) in a.iter().enumerate() {
+            asm.mov_abs(Reg::R5, limb);
+            asm.store32(Reg::R1, (i * 8) as i32, Reg::R5);
+        }
+        for (i, &limb) in b.iter().enumerate() {
+            asm.mov_abs(Reg::R5, limb);
+            asm.store32(Reg::R2, (i * 8) as i32, Reg::R5);
+        }
+        asm.mov_ri(Reg::R3, a.len() as i32);
+        asm.call("bn_cmp");
+        asm.syscall(0); // EXIT
+
+        asm.align(64);
+        let func_start = asm.label("bn_cmp");
+        emit_bn_cmp(&mut asm, config)?;
+        let func_end = asm.here();
+
+        let program = asm.finish()?;
+        let (then_range, else_range) = if config.branch == BranchConstruct::DataOblivious {
+            let select = program.symbol("bn_cmp.select").expect("select label");
+            let select_end = program.symbol("bn_cmp.select_end").expect("select_end");
+            ((select, select_end), (select, select_end))
+        } else {
+            (
+                (
+                    program.symbol("bn_cmp.gt_start").expect("gt_start"),
+                    program.symbol("bn_cmp.gt_end").expect("gt_end"),
+                ),
+                (
+                    program.symbol("bn_cmp.lt_start").expect("lt_start"),
+                    program.symbol("bn_cmp.lt_end").expect("lt_end"),
+                ),
+            )
+        };
+        Ok(VictimProgram {
+            program,
+            then_range,
+            else_range,
+            func_range: (func_start, func_end),
+            directions: trace.decision.into_iter().collect(),
+            expected_result: trace.ordering as i64 as u64,
+            iterations: usize::from(trace.decision.is_some()),
+        })
+    }
+}
+
+/// Emits the bn_cmp function body.
+fn emit_bn_cmp(asm: &mut Assembler, config: &VictimConfig) -> Result<(), IsaError> {
+    // r1 = &a, r2 = &b, r3 = limb count; result in r0.
+    asm.mov_rr(Reg::R4, Reg::R3); // i = n
+    asm.label("bn_cmp.limb_loop");
+    asm.sub_ri8(Reg::R4, 1);
+    asm.mov_rr(Reg::R5, Reg::R4);
+    asm.shl_ri(Reg::R5, 3);
+    asm.mov_rr(Reg::R6, Reg::R1);
+    asm.add_rr(Reg::R6, Reg::R5);
+    asm.load(Reg::R7, Reg::R6, 0); // a[i]
+    asm.mov_rr(Reg::R8, Reg::R2);
+    asm.add_rr(Reg::R8, Reg::R5);
+    asm.load(Reg::R9, Reg::R8, 0); // b[i]
+    asm.cmp_rr(Reg::R7, Reg::R9);
+    asm.jcc32(Cond::Ne, "bn_cmp.decide");
+    asm.cmp_ri8(Reg::R4, 0);
+    asm.jcc32(Cond::Ne, "bn_cmp.limb_loop");
+    // All limbs equal.
+    asm.mov_ri(Reg::R0, 0);
+    asm.jmp32("bn_cmp.done");
+
+    asm.label("bn_cmp.decide");
+    asm.cmp_rr(Reg::R7, Reg::R9);
+    match config.branch {
+        BranchConstruct::Conditional | BranchConstruct::Cfr { .. } => {
+            // CFR on bn_cmp is exercised through the GCD victim; the
+            // conditional construct is shared here.
+            asm.jcc32(Cond::A, "bn_cmp.gt_side");
+        }
+        BranchConstruct::DataOblivious => {
+            asm.mov_ri(Reg::R10, 1);
+            asm.mov_ri(Reg::R11, -1);
+            asm.label("bn_cmp.select");
+            asm.mov_rr(Reg::R0, Reg::R11);
+            asm.cmov(Cond::A, Reg::R0, Reg::R10);
+            asm.label("bn_cmp.select_end");
+            if config.yield_each_iteration {
+                asm.syscall(1);
+            }
+            asm.jmp32("bn_cmp.done");
+            asm.label("bn_cmp.done");
+            asm.ret();
+            return Ok(());
+        }
+    }
+
+    // "Less" side (fall-through).
+    if let Some(align) = config.align_jumps {
+        asm.align(align);
+    }
+    asm.label("bn_cmp.lt_start");
+    asm.mov_ri(Reg::R0, -1);
+    emit_side_filler(asm, config, true);
+    asm.jmp32("bn_cmp.join");
+    asm.label("bn_cmp.lt_end");
+
+    // "Greater" side — balanced with the less side.
+    if let Some(align) = config.align_jumps {
+        asm.align(align);
+    }
+    asm.label("bn_cmp.gt_side");
+    asm.label("bn_cmp.gt_start");
+    asm.mov_ri(Reg::R0, 1);
+    emit_side_filler(asm, config, false);
+    asm.jmp32("bn_cmp.join");
+    asm.label("bn_cmp.gt_end");
+
+    if let Some(align) = config.align_jumps {
+        asm.align(align);
+    }
+    asm.label("bn_cmp.join");
+    if config.yield_each_iteration {
+        asm.syscall(1); // YIELD: one measurable slice per decision
+    }
+    asm.jmp32("bn_cmp.done");
+    asm.label("bn_cmp.done");
+    asm.ret();
+    Ok(())
+}
+
+/// Balanced body filler: `mov` (7 bytes) so far; pad to `body_bytes`
+/// minus the trailing `jmp32`.
+fn emit_side_filler(asm: &mut Assembler, config: &VictimConfig, is_less: bool) {
+    if !config.balanced && !is_less {
+        return; // unbalanced: greater side left minimal
+    }
+    let mut remaining = config.body_bytes.saturating_sub(7 + 5);
+    if remaining >= 8 {
+        asm.add_ri8(Reg::R10, 1);
+        asm.mul_rr(Reg::R10, Reg::R11);
+        remaining -= 8;
+    }
+    while remaining > 0 {
+        let chunk = remaining.min(15);
+        match chunk {
+            1 => {
+                asm.nop();
+            }
+            n => {
+                asm.nop_n(n as u8);
+            }
+        }
+        remaining -= chunk;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nv_uarch::{Core, Machine, RunExit, UarchConfig};
+
+    fn run(victim: &VictimProgram) -> (i64, u64) {
+        let mut machine = Machine::new(victim.program().clone());
+        let mut core = Core::new(UarchConfig::default());
+        let mut yields = 0;
+        loop {
+            match core.run(&mut machine, 1_000_000) {
+                RunExit::Syscall(1) => yields += 1,
+                RunExit::Syscall(0) => break,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        (machine.state().reg(Reg::R0) as i64, yields)
+    }
+
+    #[test]
+    fn comparison_results_are_correct() {
+        let config = VictimConfig::paper_hardened();
+        let cases: [(&[u64], &[u64], i64); 5] = [
+            (&[5], &[5], 0),
+            (&[5], &[6], -1),
+            (&[6], &[5], 1),
+            (&[0, 1], &[u64::MAX, 0], 1),
+            (&[1, 2, 3], &[1, 9, 3], -1),
+        ];
+        for (a, b, expected) in cases {
+            let victim = BnCmpVictim::build(a, b, &config).unwrap();
+            let (result, yields) = run(&victim);
+            assert_eq!(result, expected, "{a:?} vs {b:?}");
+            assert_eq!(yields as usize, victim.iterations());
+        }
+    }
+
+    #[test]
+    fn balanced_sides_match() {
+        let victim =
+            BnCmpVictim::build(&[7], &[9], &VictimConfig::paper_hardened()).unwrap();
+        let (ts, te) = victim.then_range();
+        let (es, ee) = victim.else_range();
+        assert_eq!(te - ts, ee - es);
+        assert_eq!(ts.value() % 16, 0);
+        assert_eq!(es.value() % 16, 0);
+    }
+
+    #[test]
+    fn equal_operands_take_no_decision() {
+        let victim =
+            BnCmpVictim::build(&[3, 3], &[3, 3], &VictimConfig::paper_hardened()).unwrap();
+        assert!(victim.directions().is_empty());
+        let (result, yields) = run(&victim);
+        assert_eq!(result, 0);
+        assert_eq!(yields, 0);
+    }
+
+    #[test]
+    fn data_oblivious_variant_computes_correctly() {
+        let victim =
+            BnCmpVictim::build(&[9], &[7], &VictimConfig::data_oblivious()).unwrap();
+        let (result, _) = run(&victim);
+        assert_eq!(result, 1);
+        assert_eq!(victim.then_range(), victim.else_range());
+    }
+
+    #[test]
+    fn ground_truth_decision_matches_execution() {
+        for (a, b) in [(&[0x1234u64][..], &[0x9999u64][..]), (&[7, 7], &[7, 3])] {
+            let victim = BnCmpVictim::build(a, b, &VictimConfig::paper_hardened()).unwrap();
+            let (result, _) = run(&victim);
+            assert_eq!(result, victim.expected_result() as i64);
+        }
+    }
+}

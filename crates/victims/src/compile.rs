@@ -1,0 +1,534 @@
+//! A mini-compiler for the Figure 13 robustness study.
+//!
+//! NightVision's fingerprinting matches *binary layout*, so the paper
+//! studies how library version and compiler flags perturb that layout
+//! (§7.3):
+//!
+//! * **Library version** matters only when the source changes: mbedTLS GCD
+//!   was identical from 2.5 through 2.15 and reimplemented in 2.16. We
+//!   model that with two implementation variants.
+//! * **GCC version** (7.5/8.4/9.4/10.3) "alone usually does not affect the
+//!   function binary" — modelled as layout-neutral.
+//! * **Optimization level** changes layout drastically: `-O0` spills every
+//!   value to the stack, `-O2` keeps values in registers, `-O3` unrolls
+//!   and aligns.
+
+use std::fmt;
+
+use nv_isa::{Assembler, Cond, IsaError, Program, Reg, VirtAddr};
+
+use crate::bignum::{gcd_trace, gcd_trace_v2};
+
+/// The eight mbedTLS versions of Figure 13 (left).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum LibraryVersion {
+    V2_5,
+    V2_7,
+    V2_9,
+    V2_11,
+    V2_13,
+    V2_15,
+    V2_16,
+    V3_1,
+}
+
+impl LibraryVersion {
+    /// All eight studied versions, in release order.
+    pub fn all() -> impl Iterator<Item = LibraryVersion> {
+        [
+            LibraryVersion::V2_5,
+            LibraryVersion::V2_7,
+            LibraryVersion::V2_9,
+            LibraryVersion::V2_11,
+            LibraryVersion::V2_13,
+            LibraryVersion::V2_15,
+            LibraryVersion::V2_16,
+            LibraryVersion::V3_1,
+        ]
+        .into_iter()
+    }
+
+    /// `true` for versions before the 2.16 reimplementation (identical GCD
+    /// source, hence identical binaries at a given optimization level).
+    pub fn uses_legacy_impl(self) -> bool {
+        self < LibraryVersion::V2_16
+    }
+}
+
+impl fmt::Display for LibraryVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            LibraryVersion::V2_5 => "2.5",
+            LibraryVersion::V2_7 => "2.7",
+            LibraryVersion::V2_9 => "2.9",
+            LibraryVersion::V2_11 => "2.11",
+            LibraryVersion::V2_13 => "2.13",
+            LibraryVersion::V2_15 => "2.15",
+            LibraryVersion::V2_16 => "2.16",
+            LibraryVersion::V3_1 => "3.1",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Optimization levels of Figure 13 (right).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum OptLevel {
+    O0,
+    O2,
+    O3,
+}
+
+impl OptLevel {
+    /// The three studied levels.
+    pub fn all() -> impl Iterator<Item = OptLevel> {
+        [OptLevel::O0, OptLevel::O2, OptLevel::O3].into_iter()
+    }
+}
+
+impl fmt::Display for OptLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            OptLevel::O0 => "-O0",
+            OptLevel::O2 => "-O2",
+            OptLevel::O3 => "-O3",
+        })
+    }
+}
+
+/// GCC versions studied by §7.3 — layout-neutral, per the paper's finding.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum GccVersion {
+    G7_5,
+    G8_4,
+    G9_4,
+    G10_3,
+}
+
+impl GccVersion {
+    /// The four studied compiler versions.
+    pub fn all() -> impl Iterator<Item = GccVersion> {
+        [
+            GccVersion::G7_5,
+            GccVersion::G8_4,
+            GccVersion::G9_4,
+            GccVersion::G10_3,
+        ]
+        .into_iter()
+    }
+}
+
+/// A complete compilation configuration.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct CompileOptions {
+    /// mbedTLS version (selects the GCD implementation).
+    pub version: LibraryVersion,
+    /// Optimization level.
+    pub opt: OptLevel,
+    /// Compiler version (layout-neutral).
+    pub gcc: GccVersion,
+}
+
+impl Default for CompileOptions {
+    /// gcc 7.5 `-O2` on mbedTLS 3.0-era source — the §7.1 toolchain.
+    fn default() -> Self {
+        CompileOptions {
+            version: LibraryVersion::V3_1,
+            opt: OptLevel::O2,
+            gcc: GccVersion::G7_5,
+        }
+    }
+}
+
+/// A compiled GCD image: a runnable program (a `main` driver plus the
+/// function) with the function boundaries needed for fingerprinting.
+#[derive(Clone, Debug)]
+pub struct CompiledFunction {
+    program: Program,
+    entry: VirtAddr,
+    end: VirtAddr,
+    options: CompileOptions,
+    expected_gcd: u64,
+}
+
+impl CompiledFunction {
+    /// The program image.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The function's entry address.
+    pub fn entry(&self) -> VirtAddr {
+        self.entry
+    }
+
+    /// First address past the function.
+    pub fn end(&self) -> VirtAddr {
+        self.end
+    }
+
+    /// The configuration this image was compiled with.
+    pub fn options(&self) -> CompileOptions {
+        self.options
+    }
+
+    /// **Ground truth** result for correctness checks.
+    pub fn expected_gcd(&self) -> u64 {
+        self.expected_gcd
+    }
+
+    /// Static PCs of the function, relative to its entry — the reference
+    /// fingerprint set `S*` of §6.4 step (1).
+    pub fn static_pc_offsets(&self) -> Vec<u64> {
+        self.program
+            .inst_starts_in(self.entry, self.end)
+            .iter()
+            .map(|&pc| (pc - self.entry) as u64)
+            .collect()
+    }
+}
+
+/// Compiles the GCD function for operands `(a, b)` under `options`,
+/// placing the image at `base`.
+///
+/// # Errors
+///
+/// Propagates assembly errors.
+///
+/// # Panics
+///
+/// Panics if `a` or `b` is zero.
+pub fn compile_gcd(
+    options: &CompileOptions,
+    base: VirtAddr,
+    a: u64,
+    b: u64,
+) -> Result<CompiledFunction, IsaError> {
+    let expected = if options.version.uses_legacy_impl() {
+        gcd_trace(a, b).gcd
+    } else {
+        gcd_trace_v2(a, b).gcd
+    };
+    let mut asm = Assembler::new(base);
+    asm.label("main");
+    asm.entry_here();
+    asm.mov_abs(Reg::R1, a);
+    asm.mov_abs(Reg::R2, b);
+    asm.call("gcd");
+    asm.syscall(0); // EXIT
+    asm.align(64);
+    let entry = asm.label("gcd");
+    if options.version.uses_legacy_impl() {
+        emit_legacy_gcd(&mut asm, options.opt);
+    } else {
+        emit_modern_gcd(&mut asm, options.opt);
+    }
+    let end = asm.here();
+    let program = asm.finish()?;
+    Ok(CompiledFunction {
+        program,
+        entry,
+        end,
+        options: *options,
+        expected_gcd: expected,
+    })
+}
+
+/// Emits a trailing-zero-stripping loop for `reg`.
+fn emit_tz(asm: &mut Assembler, reg: Reg, label: &str, opt: OptLevel) {
+    let done = format!("{label}.done");
+    asm.label(label.to_string());
+    if opt == OptLevel::O0 {
+        // -O0 spills the working value around the test.
+        asm.store(Reg::FP, -8, reg);
+        asm.load(Reg::R5, Reg::FP, -8);
+    } else {
+        asm.mov_rr(Reg::R5, reg);
+    }
+    asm.and_ri8(Reg::R5, 1);
+    asm.jcc8(Cond::Ne, &done);
+    asm.shr_ri(reg, 1);
+    asm.jmp8(label);
+    asm.label(done);
+}
+
+/// The pre-2.16 implementation: strip twos each iteration, subtract the
+/// smaller from the larger, halve.
+fn emit_legacy_gcd(asm: &mut Assembler, opt: OptLevel) {
+    let unroll = if opt == OptLevel::O3 { 2 } else { 1 };
+    if opt == OptLevel::O0 {
+        asm.mov_rr(Reg::FP, Reg::SP); // frame pointer for spill slots
+    }
+    // k = ctz(a | b), the mbedTLS `lz` bookkeeping.
+    asm.mov_rr(Reg::R12, Reg::R1);
+    asm.or_rr(Reg::R12, Reg::R2);
+    asm.mov_ri(Reg::R13, 0);
+    asm.label("gcd.lz");
+    asm.mov_rr(Reg::R5, Reg::R12);
+    asm.and_ri8(Reg::R5, 1);
+    asm.jcc8(Cond::Ne, "gcd.lz.done");
+    asm.shr_ri(Reg::R12, 1);
+    asm.add_ri8(Reg::R13, 1);
+    asm.jmp8("gcd.lz");
+    asm.label("gcd.lz.done");
+    asm.label("gcd.loop");
+    if opt == OptLevel::O3 {
+        asm.align(16);
+    }
+    for copy in 0..unroll {
+        let l = |name: &str| format!("gcd.{name}.{copy}");
+        if opt == OptLevel::O0 {
+            // Reload the working set from the frame each iteration.
+            asm.store(Reg::FP, -16, Reg::R1);
+            asm.store(Reg::FP, -24, Reg::R2);
+            asm.load(Reg::R1, Reg::FP, -16);
+            asm.load(Reg::R2, Reg::FP, -24);
+        }
+        asm.cmp_ri8(Reg::R1, 0);
+        asm.jcc32(Cond::Eq, "gcd.done");
+        emit_tz(asm, Reg::R1, &l("tz_a"), opt);
+        emit_tz(asm, Reg::R2, &l("tz_b"), opt);
+        asm.cmp_rr(Reg::R1, Reg::R2);
+        asm.jcc32(Cond::Ae, &l("then"));
+        asm.sub_rr(Reg::R2, Reg::R1);
+        asm.shr_ri(Reg::R2, 1);
+        asm.jmp32(&l("join"));
+        if opt == OptLevel::O3 {
+            asm.align(16);
+        }
+        asm.label(l("then"));
+        asm.sub_rr(Reg::R1, Reg::R2);
+        asm.shr_ri(Reg::R1, 1);
+        asm.label(l("join"));
+    }
+    asm.jmp32("gcd.loop");
+    asm.label("gcd.done");
+    asm.mov_rr(Reg::R0, Reg::R2);
+    asm.label("gcd.restore");
+    asm.cmp_ri8(Reg::R13, 0);
+    asm.jcc8(Cond::Eq, "gcd.restore.done");
+    asm.shl_ri(Reg::R0, 1);
+    asm.sub_ri8(Reg::R13, 1);
+    asm.jmp8("gcd.restore");
+    asm.label("gcd.restore.done");
+    asm.ret();
+}
+
+/// The 2.16+ reimplementation: hoist the common power of two, keep both
+/// operands odd, subtract and re-strip inside the loop.
+fn emit_modern_gcd(asm: &mut Assembler, opt: OptLevel) {
+    let unroll = if opt == OptLevel::O3 { 2 } else { 1 };
+    if opt == OptLevel::O0 {
+        asm.mov_rr(Reg::FP, Reg::SP);
+    }
+    // k = ctz(a | b)
+    asm.mov_rr(Reg::R7, Reg::R1);
+    asm.or_rr(Reg::R7, Reg::R2);
+    asm.mov_ri(Reg::R8, 0);
+    asm.label("gcd.ctz");
+    asm.mov_rr(Reg::R5, Reg::R7);
+    asm.and_ri8(Reg::R5, 1);
+    asm.jcc8(Cond::Ne, "gcd.ctz.done");
+    asm.shr_ri(Reg::R7, 1);
+    asm.add_ri8(Reg::R8, 1);
+    asm.jmp8("gcd.ctz");
+    asm.label("gcd.ctz.done");
+    // Make both operands odd.
+    emit_tz(asm, Reg::R1, "gcd.tz_u0", opt);
+    emit_tz(asm, Reg::R2, "gcd.tz_v0", opt);
+    asm.label("gcd.loop");
+    if opt == OptLevel::O3 {
+        asm.align(16);
+    }
+    for copy in 0..unroll {
+        let l = |name: &str| format!("gcd.{name}.{copy}");
+        if opt == OptLevel::O0 {
+            asm.store(Reg::FP, -16, Reg::R1);
+            asm.load(Reg::R1, Reg::FP, -16);
+        }
+        asm.cmp_rr(Reg::R1, Reg::R2);
+        asm.jcc32(Cond::Eq, "gcd.done");
+        asm.jcc32(Cond::A, &l("then"));
+        asm.sub_rr(Reg::R2, Reg::R1);
+        emit_tz(asm, Reg::R2, &l("tz_v"), opt);
+        asm.jmp32(&l("join"));
+        if opt == OptLevel::O3 {
+            asm.align(16);
+        }
+        asm.label(l("then"));
+        asm.sub_rr(Reg::R1, Reg::R2);
+        emit_tz(asm, Reg::R1, &l("tz_u"), opt);
+        asm.label(l("join"));
+    }
+    asm.jmp32("gcd.loop");
+    asm.label("gcd.done");
+    // result = u << k
+    asm.mov_rr(Reg::R0, Reg::R1);
+    asm.label("gcd.shift");
+    asm.cmp_ri8(Reg::R8, 0);
+    asm.jcc8(Cond::Eq, "gcd.shift.done");
+    asm.shl_ri(Reg::R0, 1);
+    asm.sub_ri8(Reg::R8, 1);
+    asm.jmp8("gcd.shift");
+    asm.label("gcd.shift.done");
+    asm.ret();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nv_uarch::{Core, Machine, RunExit, UarchConfig};
+
+    fn run(image: &CompiledFunction) -> u64 {
+        let mut machine = Machine::new(image.program().clone());
+        let mut core = Core::new(UarchConfig::default());
+        assert_eq!(core.run(&mut machine, 5_000_000), RunExit::Syscall(0));
+        machine.state().reg(Reg::R0)
+    }
+
+    #[test]
+    fn every_configuration_computes_gcd() {
+        for version in [LibraryVersion::V2_5, LibraryVersion::V2_16, LibraryVersion::V3_1] {
+            for opt in OptLevel::all() {
+                let options = CompileOptions {
+                    version,
+                    opt,
+                    gcc: GccVersion::G7_5,
+                };
+                for (a, b) in [(48u64, 18u64), (65537, 600), (1 << 12, 3), (17, 17)] {
+                    let image =
+                        compile_gcd(&options, VirtAddr::new(0x40_0000), a, b).unwrap();
+                    assert_eq!(
+                        run(&image),
+                        image.expected_gcd(),
+                        "{version} {opt} gcd({a},{b})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_versions_share_identical_layout() {
+        // §7.3 finding 1: source unchanged 2.5..2.15 ⇒ identical binaries.
+        let layouts: Vec<Vec<u64>> = [
+            LibraryVersion::V2_5,
+            LibraryVersion::V2_7,
+            LibraryVersion::V2_15,
+        ]
+        .iter()
+        .map(|&version| {
+            compile_gcd(
+                &CompileOptions {
+                    version,
+                    opt: OptLevel::O2,
+                    gcc: GccVersion::G7_5,
+                },
+                VirtAddr::new(0x40_0000),
+                48,
+                18,
+            )
+            .unwrap()
+            .static_pc_offsets()
+        })
+        .collect();
+        assert_eq!(layouts[0], layouts[1]);
+        assert_eq!(layouts[1], layouts[2]);
+    }
+
+    #[test]
+    fn v2_16_changes_the_layout() {
+        let legacy = compile_gcd(
+            &CompileOptions {
+                version: LibraryVersion::V2_15,
+                opt: OptLevel::O2,
+                gcc: GccVersion::G7_5,
+            },
+            VirtAddr::new(0x40_0000),
+            48,
+            18,
+        )
+        .unwrap();
+        let modern = compile_gcd(
+            &CompileOptions {
+                version: LibraryVersion::V2_16,
+                opt: OptLevel::O2,
+                gcc: GccVersion::G7_5,
+            },
+            VirtAddr::new(0x40_0000),
+            48,
+            18,
+        )
+        .unwrap();
+        assert_ne!(legacy.static_pc_offsets(), modern.static_pc_offsets());
+    }
+
+    #[test]
+    fn gcc_version_is_layout_neutral() {
+        // §7.3 finding 2.
+        let layouts: Vec<Vec<u64>> = GccVersion::all()
+            .map(|gcc| {
+                compile_gcd(
+                    &CompileOptions {
+                        version: LibraryVersion::V3_1,
+                        opt: OptLevel::O2,
+                        gcc,
+                    },
+                    VirtAddr::new(0x40_0000),
+                    48,
+                    18,
+                )
+                .unwrap()
+                .static_pc_offsets()
+            })
+            .collect();
+        assert!(layouts.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn opt_levels_diverge() {
+        // §7.3 finding 3: flags change layout significantly.
+        let layouts: Vec<Vec<u64>> = OptLevel::all()
+            .map(|opt| {
+                compile_gcd(
+                    &CompileOptions {
+                        version: LibraryVersion::V3_1,
+                        opt,
+                        gcc: GccVersion::G7_5,
+                    },
+                    VirtAddr::new(0x40_0000),
+                    48,
+                    18,
+                )
+                .unwrap()
+                .static_pc_offsets()
+            })
+            .collect();
+        assert_ne!(layouts[0], layouts[1], "O0 vs O2");
+        assert_ne!(layouts[1], layouts[2], "O2 vs O3");
+        assert_ne!(layouts[0], layouts[2], "O0 vs O3");
+    }
+
+    #[test]
+    fn static_offsets_start_at_zero() {
+        let image = compile_gcd(
+            &CompileOptions::default(),
+            VirtAddr::new(0x40_0000),
+            48,
+            18,
+        )
+        .unwrap();
+        let offsets = image.static_pc_offsets();
+        assert_eq!(offsets[0], 0);
+        assert!(offsets.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(LibraryVersion::V2_16.to_string(), "2.16");
+        assert_eq!(OptLevel::O3.to_string(), "-O3");
+    }
+}

@@ -1,0 +1,123 @@
+//! Victim build configuration: the defense matrix of §5.
+
+use nv_isa::VirtAddr;
+
+use crate::VICTIM_BASE;
+
+/// How the secret-dependent branch is constructed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BranchConstruct {
+    /// A plain conditional branch (`cmp` + `jcc`).
+    Conditional,
+    /// Control-flow randomization (Hosseinzadeh et al., Figure 8b of the
+    /// paper): the branch is replaced by a branchless target selection and
+    /// a jump through a runtime-randomized trampoline. `seed` randomizes
+    /// the trampoline placement.
+    Cfr {
+        /// Seed for trampoline placement.
+        seed: u64,
+    },
+    /// Data-oblivious rewrite (`cmov`-based, §8.2) — both sides' work is
+    /// computed and conditionally selected; control flow is
+    /// secret-independent. The only construct that defeats NightVision.
+    DataOblivious,
+}
+
+/// Build options for the victim programs: the software-defense matrix the
+/// paper evaluates against (§5.1, §7.2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct VictimConfig {
+    /// Base address of the victim image.
+    pub base: VirtAddr,
+    /// Branch balancing: both sides of the secret branch carry identical
+    /// instruction counts, types and byte lengths (defeats CopyCat/Nemesis
+    /// -class attacks).
+    pub balanced: bool,
+    /// `-falign-jumps=N`: align both branch targets to the same offset
+    /// modulo `N` (the Frontal mitigation; the paper uses 16).
+    pub align_jumps: Option<u64>,
+    /// Secret-branch construction.
+    pub branch: BranchConstruct,
+    /// Insert a `sched_yield` after the branch body each loop iteration —
+    /// the paper's PoC preemption methodology (§7.2).
+    pub yield_each_iteration: bool,
+    /// Byte length of each balanced branch body (the paper's GCD sides are
+    /// 0x3c bytes; default 0x30).
+    pub body_bytes: u64,
+}
+
+impl VictimConfig {
+    /// The §7.2 evaluation configuration: balanced, 16-byte-aligned
+    /// (`-falign-jumps=16`), plain conditional branch, yield per iteration.
+    pub fn paper_hardened() -> Self {
+        VictimConfig {
+            base: VICTIM_BASE,
+            balanced: true,
+            align_jumps: Some(16),
+            branch: BranchConstruct::Conditional,
+            yield_each_iteration: true,
+            body_bytes: 0x30,
+        }
+    }
+
+    /// An *unhardened* victim (unbalanced, unaligned): what the baseline
+    /// attacks (instruction counting etc.) can still break.
+    pub fn unhardened() -> Self {
+        VictimConfig {
+            balanced: false,
+            align_jumps: None,
+            ..VictimConfig::paper_hardened()
+        }
+    }
+
+    /// Hardened + CFR (Figure 8b): defeats branch-predictor attacks on the
+    /// branch itself; NightVision does not care.
+    pub fn with_cfr(seed: u64) -> Self {
+        VictimConfig {
+            branch: BranchConstruct::Cfr { seed },
+            ..VictimConfig::paper_hardened()
+        }
+    }
+
+    /// Data-oblivious victim (§8.2) — the mitigation that works.
+    pub fn data_oblivious() -> Self {
+        VictimConfig {
+            branch: BranchConstruct::DataOblivious,
+            ..VictimConfig::paper_hardened()
+        }
+    }
+}
+
+impl Default for VictimConfig {
+    fn default() -> Self {
+        VictimConfig::paper_hardened()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_section_7_2() {
+        let config = VictimConfig::paper_hardened();
+        assert!(config.balanced);
+        assert_eq!(config.align_jumps, Some(16));
+        assert_eq!(config.branch, BranchConstruct::Conditional);
+        assert!(config.yield_each_iteration);
+    }
+
+    #[test]
+    fn presets_differ_where_expected() {
+        assert!(!VictimConfig::unhardened().balanced);
+        assert!(matches!(
+            VictimConfig::with_cfr(7).branch,
+            BranchConstruct::Cfr { seed: 7 }
+        ));
+        assert_eq!(
+            VictimConfig::data_oblivious().branch,
+            BranchConstruct::DataOblivious
+        );
+        assert_eq!(VictimConfig::default(), VictimConfig::paper_hardened());
+    }
+}

@@ -1,0 +1,52 @@
+//! # nv-victims — victim programs, defenses and a mini-compiler
+//!
+//! The paper evaluates NightVision against two real cryptographic victims
+//! with secret-dependent, *perfectly balanced* control flow (§7.2):
+//!
+//! * the binary **GCD** used during mbedTLS RSA key generation, whose
+//!   balanced branch direction at each loop iteration leaks key material;
+//! * the big-number compare (**bn_cmp**) of Intel IPP-Crypto.
+//!
+//! This crate provides both, written in the `nv-isa` instruction set with
+//! the same structure (a balanced branch inside a loop, one `sched_yield`
+//! per iteration for the paper's PoC preemption methodology), plus the
+//! defenses the paper defeats:
+//!
+//! * branch balancing (both sides identical in count/type/length),
+//! * basic-block alignment (`-falign-jumps=16`, the Frontal mitigation),
+//! * control-flow randomization (CFR) with runtime-randomized trampolines,
+//! * and, for contrast, the only *working* mitigation: a data-oblivious
+//!   (`cmov`-based) rewrite (§8.2).
+//!
+//! The [`compile`] module is a mini-compiler that emits the GCD function
+//! under different library versions and optimization levels, reproducing
+//! the robustness study of Figure 13.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bignum;
+mod bn_cmp;
+pub mod compile;
+mod config;
+mod gcd;
+mod modexp;
+mod rsa;
+mod victim;
+
+pub use bn_cmp::BnCmpVictim;
+pub use config::{BranchConstruct, VictimConfig};
+pub use gcd::GcdVictim;
+pub use modexp::{modexp_trace, ModExpVictim};
+pub use rsa::{GcdRun, RsaKeygen};
+pub use victim::VictimProgram;
+
+use nv_isa::VirtAddr;
+
+/// Default base address of victim code (the attacker aliases it from
+/// `VICTIM_BASE + 2^33`).
+pub const VICTIM_BASE: VirtAddr = VirtAddr::new(0x40_0000);
+
+/// Distance at which attacker code aliases victim code in a BTB with a
+/// 33-bit tag cutoff (SkyLake..CascadeLake — 8 GiB).
+pub const ALIAS_DISTANCE: u64 = 1 << 33;

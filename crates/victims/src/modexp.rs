@@ -1,0 +1,390 @@
+//! A square-and-multiply modular-exponentiation victim.
+//!
+//! The classic RSA-decryption control-flow leak: right-to-left
+//! square-and-multiply tests one secret exponent bit per iteration and
+//! multiplies only when the bit is set. With branch balancing the "skip"
+//! side performs a *dummy* multiply by one (identical instruction
+//! sequence), defeating counting and timing channels — but the two sides
+//! still live at different addresses, which is all NightVision needs.
+//! Leaking every direction leaks the private exponent verbatim.
+//!
+//! The inner modular-multiply is deliberately data-oblivious (`cmov`-based
+//! conditional subtraction), so the *only* secret-dependent control flow
+//! is the per-bit branch — the clean laboratory version of the leak.
+
+use nv_isa::{Assembler, Cond, IsaError, Reg};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::{BranchConstruct, VictimConfig};
+use crate::victim::VictimProgram;
+
+/// Host-side mirror: computes `base^exp mod modulus` and the balanced
+/// branch directions (the exponent bits, least significant first, up to
+/// the exponent's bit length).
+///
+/// # Panics
+///
+/// Panics unless `0 < base < modulus`, `modulus ≥ 2` and `exp > 0`.
+pub fn modexp_trace(base: u64, exp: u64, modulus: u64) -> (u64, Vec<bool>) {
+    assert!(modulus >= 2 && base > 0 && base < modulus && exp > 0);
+    assert!(modulus < 1 << 62, "headroom for the shift-and-reduce multiply");
+    let mut result = 1u64;
+    let mut b = base;
+    let mut e = exp;
+    let mut directions = Vec::new();
+    while e != 0 {
+        let bit = e & 1 != 0;
+        directions.push(bit);
+        if bit {
+            result = mulmod(result, b, modulus);
+        } else {
+            result = mulmod(result, 1, modulus); // the balanced dummy
+        }
+        b = mulmod(b, b, modulus);
+        e >>= 1;
+    }
+    (result, directions)
+}
+
+fn mulmod(mut a: u64, mut b: u64, m: u64) -> u64 {
+    let mut r = 0u64;
+    while b != 0 {
+        if b & 1 != 0 {
+            r = (r + a) % m;
+        }
+        a = (a << 1) % m;
+        b >>= 1;
+    }
+    r
+}
+
+/// Builder for the modular-exponentiation victim.
+///
+/// # Examples
+///
+/// ```
+/// use nv_victims::{ModExpVictim, VictimConfig};
+///
+/// # fn main() -> Result<(), nv_isa::IsaError> {
+/// let victim = ModExpVictim::build(7, 0b1011, 1000003, &VictimConfig::paper_hardened())?;
+/// // Directions are the exponent bits, LSB first.
+/// assert_eq!(victim.directions(), &[true, true, false, true]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ModExpVictim;
+
+const BASE: Reg = Reg::R1;
+const EXP: Reg = Reg::R2;
+const MODULUS: Reg = Reg::R3;
+const RESULT: Reg = Reg::R4;
+const BIT: Reg = Reg::R6;
+const MM_A: Reg = Reg::R8;
+const MM_B: Reg = Reg::R9;
+const MM_R: Reg = Reg::R10;
+const SCRATCH: Reg = Reg::R11;
+const CFR_THEN: Reg = Reg::R12;
+const CFR_ELSE: Reg = Reg::R13;
+
+impl ModExpVictim {
+    /// Builds the victim computing `base^exp mod modulus` under the given
+    /// defense configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates assembly errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid operands (see [`modexp_trace`]).
+    pub fn build(
+        base: u64,
+        exp: u64,
+        modulus: u64,
+        config: &VictimConfig,
+    ) -> Result<VictimProgram, IsaError> {
+        let (expected, directions) = modexp_trace(base, exp, modulus);
+        let mut asm = Assembler::new(config.base);
+
+        asm.label("main");
+        asm.entry_here();
+        asm.mov_abs(BASE, base);
+        asm.mov_abs(EXP, exp);
+        asm.mov_abs(MODULUS, modulus);
+        asm.call("modexp");
+        asm.syscall(0); // EXIT
+
+        asm.align(64);
+        let func_start = asm.label("modexp");
+        emit_modexp(&mut asm, config)?;
+        let func_end = asm.label("modexp.end");
+        emit_mulmod(&mut asm);
+
+        let program = asm.finish()?;
+        let (then_range, else_range) = if config.branch == BranchConstruct::DataOblivious {
+            let select = program.symbol("modexp.select").expect("select label");
+            let end = program.symbol("modexp.select_end").expect("select_end");
+            ((select, end), (select, end))
+        } else {
+            (
+                (
+                    program.symbol("modexp.then_start").expect("then_start"),
+                    program.symbol("modexp.then_end").expect("then_end"),
+                ),
+                (
+                    program.symbol("modexp.else_start").expect("else_start"),
+                    program.symbol("modexp.else_end").expect("else_end"),
+                ),
+            )
+        };
+        Ok(VictimProgram {
+            program,
+            then_range,
+            else_range,
+            func_range: (func_start, func_end),
+            iterations: directions.len(),
+            directions,
+            expected_result: expected,
+        })
+    }
+}
+
+/// The outer square-and-multiply loop.
+fn emit_modexp(asm: &mut Assembler, config: &VictimConfig) -> Result<(), IsaError> {
+    asm.mov_ri(RESULT, 1);
+    asm.label("modexp.loop");
+    asm.cmp_ri8(EXP, 0);
+    asm.jcc32(Cond::Eq, "modexp.done");
+    // bit = e & 1
+    asm.mov_rr(BIT, EXP);
+    asm.and_ri8(BIT, 1);
+    asm.cmp_ri8(BIT, 0);
+
+    match config.branch {
+        BranchConstruct::Conditional => {
+            asm.jcc32(Cond::Ne, "modexp.then_start");
+        }
+        BranchConstruct::Cfr { .. } => {
+            asm.setcc(Cond::Ne, BIT);
+            asm.mov_label(CFR_THEN, "modexp.then_start");
+            asm.mov_label(CFR_ELSE, "modexp.else_start");
+            asm.sub_rr(CFR_THEN, CFR_ELSE);
+            asm.mul_rr(CFR_THEN, BIT);
+            asm.add_rr(CFR_ELSE, CFR_THEN);
+            asm.jmp32("modexp.cfr_trampoline");
+        }
+        BranchConstruct::DataOblivious => {
+            // Multiply unconditionally by `bit ? base : 1`, selected with
+            // cmov — no secret-dependent control flow at all.
+            asm.mov_rr(MM_A, RESULT);
+            asm.mov_ri(MM_B, 1);
+            asm.label("modexp.select");
+            asm.cmp_ri8(BIT, 0);
+            asm.cmov(Cond::Ne, MM_B, BASE);
+            asm.label("modexp.select_end");
+            asm.call("mulmod");
+            asm.mov_rr(RESULT, MM_R);
+            emit_iter_tail(asm, config);
+            asm.label("modexp.done");
+            asm.mov_rr(Reg::R0, RESULT);
+            asm.ret();
+            return Ok(());
+        }
+    }
+
+    // Else (bit clear): the balanced dummy multiply by one.
+    if let Some(align) = config.align_jumps {
+        asm.align(align);
+    }
+    asm.label("modexp.else_start");
+    asm.mov_rr(MM_A, RESULT);
+    if config.balanced {
+        asm.mov_ri(MM_B, 1);
+        asm.call("mulmod");
+        asm.mov_rr(RESULT, MM_R);
+    }
+    asm.jmp32("modexp.join");
+    asm.label("modexp.else_end");
+
+    // Then (bit set): the real multiply.
+    if let Some(align) = config.align_jumps {
+        asm.align(align);
+    }
+    asm.label("modexp.then_start");
+    asm.mov_rr(MM_A, RESULT);
+    asm.mov_rr(MM_B, BASE);
+    asm.call("mulmod");
+    asm.mov_rr(RESULT, MM_R);
+    asm.jmp32("modexp.join");
+    asm.label("modexp.then_end");
+
+    if let Some(align) = config.align_jumps {
+        asm.align(align);
+    }
+    asm.label("modexp.join");
+    emit_iter_tail(asm, config);
+
+    asm.label("modexp.done");
+    asm.mov_rr(Reg::R0, RESULT);
+    asm.ret();
+
+    if let BranchConstruct::Cfr { seed } = config.branch {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let arena = config.base.offset(0x3_0000);
+        let slot: u64 = rng.gen_range(0..0x1000);
+        asm.org(arena.offset(slot * 16))?;
+        asm.label("modexp.cfr_trampoline");
+        asm.jmp_ind(CFR_ELSE);
+    }
+    Ok(())
+}
+
+/// Per-iteration tail: optional yield, square the base, shift the
+/// exponent, loop.
+fn emit_iter_tail(asm: &mut Assembler, config: &VictimConfig) {
+    if config.yield_each_iteration {
+        asm.syscall(1); // YIELD
+    }
+    asm.mov_rr(MM_A, BASE);
+    asm.mov_rr(MM_B, BASE);
+    asm.call("mulmod");
+    asm.mov_rr(BASE, MM_R);
+    asm.shr_ri(EXP, 1);
+    asm.jmp32("modexp.loop");
+}
+
+/// `mulmod(a=MM_A, b=MM_B, m=MODULUS) -> MM_R`, shift-and-reduce with
+/// `cmov`-based conditional subtraction: data-oblivious by construction,
+/// so it contributes no secret-dependent control flow of its own.
+fn emit_mulmod(asm: &mut Assembler) {
+    asm.label("mulmod");
+    asm.mov_ri(MM_R, 0);
+    asm.label("mulmod.loop");
+    asm.cmp_ri8(MM_B, 0);
+    asm.jcc8(Cond::Eq, "mulmod.done");
+    // candidate = (r + a) reduced mod m
+    asm.mov_rr(Reg::R7, MM_R);
+    asm.add_rr(Reg::R7, MM_A);
+    asm.mov_rr(SCRATCH, Reg::R7);
+    asm.sub_rr(SCRATCH, MODULUS);
+    asm.cmp_rr(Reg::R7, MODULUS);
+    asm.cmov(Cond::Ae, Reg::R7, SCRATCH);
+    // r = (b & 1) ? candidate : r — via cmov on the low bit.
+    asm.mov_rr(Reg::R5, MM_B);
+    asm.and_ri8(Reg::R5, 1);
+    asm.cmp_ri8(Reg::R5, 0);
+    asm.cmov(Cond::Ne, MM_R, Reg::R7);
+    // a = 2a mod m
+    asm.shl_ri(MM_A, 1);
+    asm.mov_rr(SCRATCH, MM_A);
+    asm.sub_rr(SCRATCH, MODULUS);
+    asm.cmp_rr(MM_A, MODULUS);
+    asm.cmov(Cond::Ae, MM_A, SCRATCH);
+    asm.shr_ri(MM_B, 1);
+    asm.jmp8("mulmod.loop");
+    asm.label("mulmod.done");
+    asm.ret();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nv_uarch::{Core, Machine, RunExit, UarchConfig};
+
+    fn run(victim: &VictimProgram) -> (u64, u64) {
+        let mut machine = Machine::new(victim.program().clone());
+        let mut core = Core::new(UarchConfig::default());
+        let mut yields = 0;
+        loop {
+            match core.run(&mut machine, 10_000_000) {
+                RunExit::Syscall(1) => yields += 1,
+                RunExit::Syscall(0) => break,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        (machine.state().reg(Reg::R0), yields)
+    }
+
+    fn reference_modexp(b: u64, e: u64, m: u64) -> u64 {
+        let mut result = 1u128;
+        let mut b = b as u128 % m as u128;
+        let mut e = e;
+        while e > 0 {
+            if e & 1 == 1 {
+                result = result * b % m as u128;
+            }
+            b = b * b % m as u128;
+            e >>= 1;
+        }
+        result as u64
+    }
+
+    #[test]
+    fn host_mirror_matches_bignum_reference() {
+        for (b, e, m) in [
+            (7u64, 13u64, 101u64),
+            (2, 255, 65537),
+            (123456, 0xdead, 1_000_003),
+            (3, 1, 5),
+        ] {
+            assert_eq!(modexp_trace(b, e, m).0, reference_modexp(b, e, m));
+        }
+    }
+
+    #[test]
+    fn victim_computes_modexp() {
+        for config in [
+            VictimConfig::paper_hardened(),
+            VictimConfig::unhardened(),
+            VictimConfig::with_cfr(9),
+            VictimConfig::data_oblivious(),
+        ] {
+            let victim = ModExpVictim::build(7, 0b1011_0101, 1_000_003, &config).unwrap();
+            let (result, yields) = run(&victim);
+            assert_eq!(result, victim.expected_result(), "{config:?}");
+            assert_eq!(yields as usize, victim.iterations(), "{config:?}");
+        }
+    }
+
+    #[test]
+    fn directions_are_the_exponent_bits() {
+        let victim =
+            ModExpVictim::build(5, 0b1101, 9973, &VictimConfig::paper_hardened()).unwrap();
+        assert_eq!(victim.directions(), &[true, false, true, true]);
+    }
+
+    #[test]
+    fn balanced_sides_are_symmetric() {
+        let victim =
+            ModExpVictim::build(5, 0b1101, 9973, &VictimConfig::paper_hardened()).unwrap();
+        let (ts, te) = victim.then_range();
+        let (es, ee) = victim.else_range();
+        let p = victim.program();
+        assert_eq!(
+            p.inst_starts_in(ts, te).len(),
+            p.inst_starts_in(es, ee).len(),
+            "equal instruction counts"
+        );
+        assert_eq!(ts.value() % 16, 0);
+        assert_eq!(es.value() % 16, 0);
+    }
+
+    #[test]
+    fn unbalanced_variant_skips_the_dummy() {
+        let victim =
+            ModExpVictim::build(5, 0b1101, 9973, &VictimConfig::unhardened()).unwrap();
+        let (ts, te) = victim.then_range();
+        let (es, ee) = victim.else_range();
+        assert!(te - ts > ee - es, "then side does real work");
+        let (result, _) = run(&victim);
+        assert_eq!(result, victim.expected_result());
+    }
+
+    #[test]
+    #[should_panic(expected = "headroom")]
+    fn oversized_modulus_rejected() {
+        modexp_trace(2, 3, 1 << 63);
+    }
+}

@@ -1,0 +1,62 @@
+//! The built-victim type shared by GCD and bn_cmp.
+
+use nv_isa::{Program, VirtAddr};
+
+/// A built victim: the program image plus the metadata a *public-code*
+/// attacker legitimately has (§5.1 assumes the victim binary is public),
+/// and the ground truth the evaluation scores against.
+#[derive(Clone, Debug)]
+pub struct VictimProgram {
+    pub(crate) program: Program,
+    pub(crate) then_range: (VirtAddr, VirtAddr),
+    pub(crate) else_range: (VirtAddr, VirtAddr),
+    pub(crate) func_range: (VirtAddr, VirtAddr),
+    pub(crate) directions: Vec<bool>,
+    pub(crate) expected_result: u64,
+    pub(crate) iterations: usize,
+}
+
+impl VictimProgram {
+    /// The program image (public code under the §5 threat model).
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Consumes the victim, returning the program image.
+    pub fn into_program(self) -> Program {
+        self.program
+    }
+
+    /// Address range `[start, end)` of the taken ("then") side of the
+    /// secret branch.
+    pub fn then_range(&self) -> (VirtAddr, VirtAddr) {
+        self.then_range
+    }
+
+    /// Address range `[start, end)` of the fall-through ("else") side.
+    pub fn else_range(&self) -> (VirtAddr, VirtAddr) {
+        self.else_range
+    }
+
+    /// Address range of the whole victim function.
+    pub fn func_range(&self) -> (VirtAddr, VirtAddr) {
+        self.func_range
+    }
+
+    /// **Ground truth**: the balanced-branch direction per iteration
+    /// (`true` = then side). Used only to score attack accuracy.
+    pub fn directions(&self) -> &[bool] {
+        &self.directions
+    }
+
+    /// **Ground truth**: the architectural result the victim must compute
+    /// (gcd value, or comparison result as sign-extended `u64`).
+    pub fn expected_result(&self) -> u64 {
+        self.expected_result
+    }
+
+    /// Number of secret-branch iterations the victim will execute.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+}

@@ -1,0 +1,62 @@
+//! Use case 1 (§5, §7.2): leaking RSA key material through the
+//! *perfectly balanced*, 16-byte-aligned branch of the mbedTLS-style GCD.
+//!
+//! The victim is hardened against every prior control-flow attack:
+//! * branch balancing (identical instruction counts/types/lengths),
+//! * `-falign-jumps=16` (defeats Frontal),
+//! * optionally CFR (defeats branch-predictor attacks),
+//! * with IBRS/IBPB barriers active (defeats Spectre-v2-style probing).
+//!
+//! NightVision-User recovers every branch direction anyway.
+//!
+//! Run with: `cargo run --example control_flow_leak`
+
+use nightvision::{NoiseModel, NvUser};
+use nv_os::System;
+use nv_uarch::UarchConfig;
+use nv_victims::{GcdVictim, RsaKeygen, VictimConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // One RSA key-generation run: gcd(secret, 65537).
+    let run = RsaKeygen::new(7).next_run();
+    println!(
+        "victim: gcd({:#x}, {}) — {} balanced-branch iterations",
+        run.secret,
+        run.public,
+        run.trace.directions.len()
+    );
+
+    for (name, config) in [
+        ("balanced + align16", VictimConfig::paper_hardened()),
+        ("balanced + align16 + CFR", VictimConfig::with_cfr(0xc0ffee)),
+    ] {
+        let victim = GcdVictim::build(run.secret, run.public, &config)?;
+        let mut system = System::new(UarchConfig::default());
+        let pid = system.spawn(victim.program().clone());
+
+        let mut attacker = NvUser::for_victim(&victim, NoiseModel::none())?;
+        println!("\n[{name}] monitoring windows: {:?}", attacker.pws());
+        let readings = attacker.leak_directions(&mut system, pid, 100_000)?;
+        let inferred = NvUser::infer_directions(&readings);
+
+        let truth = victim.directions();
+        let accuracy = NvUser::accuracy(&inferred, truth);
+        let rendered: String = inferred
+            .iter()
+            .map(|&d| if d { 'T' } else { 'E' })
+            .collect();
+        println!("leaked directions: {rendered}");
+        println!("accuracy vs ground truth: {:.1}%", accuracy * 100.0);
+        assert_eq!(inferred, truth, "noise-free run must be exact");
+    }
+
+    // The only mitigation that holds: data-oblivious code (§8.2).
+    let oblivious = GcdVictim::build(run.secret, run.public, &VictimConfig::data_oblivious())?;
+    match NvUser::for_victim(&oblivious, NoiseModel::none()) {
+        Err(err) => println!(
+            "\n[data-oblivious] attack cannot even be constructed: {err}"
+        ),
+        Ok(_) => println!("\n[data-oblivious] unexpectedly attackable!"),
+    }
+    Ok(())
+}

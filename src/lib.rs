@@ -1,0 +1,27 @@
+//! # nightvision-suite — umbrella crate of the NightVision reproduction
+//!
+//! Re-exports every layer of the reproduction of *"All Your PC Are Belong
+//! to Us: Exploiting Non-control-Transfer Instruction BTB Updates for
+//! Dynamic PC Extraction"* (ISCA '23):
+//!
+//! * [`isa`] — the variable-length instruction set and assembler;
+//! * [`uarch`] — the BTB/front-end simulator with the paper's two
+//!   reverse-engineered behaviours;
+//! * [`os`] — processes, scheduler, page tables and the SGX-like enclave;
+//! * [`victims`] — the GCD/bn_cmp victims, defenses and mini-compiler;
+//! * [`corpus`] — the synthetic function corpus for fingerprinting;
+//! * [`attack`] — the NightVision framework (NV-Core, NV-U, NV-S,
+//!   trace slicing, fingerprinting, baselines).
+//!
+//! See the `examples/` directory for runnable walkthroughs and the
+//! `nv-bench` crate for per-figure reproduction binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use nightvision as attack;
+pub use nv_corpus as corpus;
+pub use nv_isa as isa;
+pub use nv_os as os;
+pub use nv_uarch as uarch;
+pub use nv_victims as victims;

@@ -1,0 +1,103 @@
+//! Reproducibility guarantees: every layer of the stack is a pure
+//! function of its seeds and inputs, so the figures regenerate
+//! bit-for-bit.
+
+use nightvision::{NoiseModel, NvSupervisor, NvUser};
+use nv_corpus::{generate, CorpusConfig};
+use nv_isa::VirtAddr;
+use nv_os::{Enclave, System};
+use nv_uarch::{Core, Machine, UarchConfig};
+use nv_victims::compile::{compile_gcd, CompileOptions};
+use nv_victims::{GcdVictim, RsaKeygen, VictimConfig};
+
+#[test]
+fn simulator_runs_are_bit_identical() {
+    let image = compile_gcd(
+        &CompileOptions::default(),
+        VirtAddr::new(0x40_0000),
+        0xabc_def,
+        65537,
+    )
+    .unwrap();
+    let run = || {
+        let mut machine = Machine::new(image.program().clone());
+        let mut core = Core::new(UarchConfig::default());
+        core.run(&mut machine, 1_000_000);
+        (core.cycle(), core.stats(), machine.state().reg(nv_isa::Reg::R0))
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn nv_s_extractions_are_identical() {
+    let image = compile_gcd(
+        &CompileOptions::default(),
+        VirtAddr::new(0x40_0000),
+        48,
+        18,
+    )
+    .unwrap();
+    let extract = || {
+        let mut enclave = Enclave::new(image.program().clone());
+        let mut core = Core::new(UarchConfig::default());
+        NvSupervisor::default()
+            .extract_trace(&mut enclave, &mut core)
+            .unwrap()
+            .pcs()
+    };
+    assert_eq!(extract(), extract());
+}
+
+#[test]
+fn noisy_nv_u_is_seed_deterministic() {
+    let run = RsaKeygen::new(1).next_run();
+    let victim =
+        GcdVictim::build(run.secret, run.public, &VictimConfig::paper_hardened()).unwrap();
+    let attack = |seed: u64| {
+        let mut system = System::new(UarchConfig::default());
+        let pid = system.spawn(victim.program().clone());
+        let mut attacker = NvUser::for_victim(&victim, NoiseModel::paper_gcd(seed)).unwrap();
+        let readings = attacker
+            .leak_directions(&mut system, pid, 100_000)
+            .unwrap();
+        NvUser::infer_directions(&readings)
+    };
+    assert_eq!(attack(7), attack(7));
+    // Determinism, not constancy: some seed in a small range must differ
+    // (the noise model actually fires).
+    let base = attack(0);
+    assert!(
+        (1..40).any(|seed| attack(seed) != base),
+        "noise model never fired across 40 seeds"
+    );
+}
+
+#[test]
+fn corpus_and_keygen_are_pure_functions_of_seeds() {
+    let c1 = generate(&CorpusConfig {
+        functions: 64,
+        ..CorpusConfig::default()
+    });
+    let c2 = generate(&CorpusConfig {
+        functions: 64,
+        ..CorpusConfig::default()
+    });
+    for (a, b) in c1.functions().iter().zip(c2.functions()) {
+        assert_eq!(a.static_offsets(), b.static_offsets());
+        assert_eq!(a.dynamic_offsets(), b.dynamic_offsets());
+    }
+    assert_eq!(RsaKeygen::new(9).runs(10), RsaKeygen::new(9).runs(10));
+}
+
+#[test]
+fn cfr_randomization_depends_only_on_its_seed() {
+    let build = |seed| {
+        GcdVictim::build(48, 18, &VictimConfig::with_cfr(seed))
+            .unwrap()
+            .program()
+            .symbol("gcd.cfr_trampoline")
+            .unwrap()
+    };
+    assert_eq!(build(5), build(5));
+    assert_ne!(build(5), build(6));
+}
