@@ -1,0 +1,12 @@
+#!/bin/sh
+# Tier-1 gate: the workspace must build, test and stay formatted with the
+# network unplugged. `--offline` is the point, not an optimization — the
+# workspace owns all of its dependencies (see DESIGN.md §6), so any
+# regression that reintroduces a crates.io dependency fails here first.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+cargo fmt --check

@@ -1,70 +1,60 @@
 //! Costs of the attack building blocks: rig construction, the
 //! prime+probe cycle, one NV-U slice, and a complete NV-S extraction.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use nightvision::{AttackerRig, NoiseModel, NvSupervisor, NvUser, PwSpec, SupervisorConfig};
+use nv_bench::microbench::bench;
 use nv_isa::VirtAddr;
 use nv_os::{Enclave, System};
 use nv_uarch::{Core, UarchConfig};
 use nv_victims::compile::{compile_gcd, CompileOptions};
 use nv_victims::{GcdVictim, VictimConfig};
 
-fn bench_attack(c: &mut Criterion) {
-    let mut group = c.benchmark_group("nv_core");
-
-    group.bench_function("rig_build_single_window", |b| {
+fn main() {
+    {
         let pw = PwSpec::new(VirtAddr::new(0x40_0500), 16).unwrap();
-        b.iter(|| AttackerRig::new(vec![pw]).unwrap());
-    });
+        bench("nv_core", "rig_build_single_window", || {
+            AttackerRig::new(vec![pw]).unwrap()
+        });
+    }
 
-    group.bench_function("rig_build_8_window_chain", |b| {
+    {
         let pws: Vec<PwSpec> = (0..8)
             .map(|i| PwSpec::new(VirtAddr::new(0x40_0500 + i * 32), 32).unwrap())
             .collect();
-        b.iter(|| AttackerRig::new(pws.clone()).unwrap());
-    });
+        bench("nv_core", "rig_build_8_window_chain", || {
+            AttackerRig::new(pws.clone()).unwrap()
+        });
+    }
 
-    group.bench_function("prime_probe_cycle", |b| {
+    {
         let pw = PwSpec::new(VirtAddr::new(0x40_0500), 16).unwrap();
         let mut rig = AttackerRig::new(vec![pw]).unwrap();
         let mut core = Core::new(UarchConfig::default());
         rig.calibrate(&mut core).unwrap();
-        b.iter(|| rig.probe(&mut core).unwrap());
-    });
-    group.finish();
+        bench("nv_core", "prime_probe_cycle", || {
+            rig.probe(&mut core).unwrap()
+        });
+    }
 
-    let mut group = c.benchmark_group("attacks");
-    group.sample_size(20);
-
-    group.bench_function("nv_u_full_gcd_run", |b| {
-        let victim =
-            GcdVictim::build(0xbeef_1235, 65537, &VictimConfig::paper_hardened()).unwrap();
-        b.iter(|| {
+    {
+        let victim = GcdVictim::build(0xbeef_1235, 65537, &VictimConfig::paper_hardened()).unwrap();
+        bench("attacks", "nv_u_full_gcd_run", || {
             let mut system = System::new(UarchConfig::default());
             let pid = system.spawn(victim.program().clone());
             let mut attacker = NvUser::for_victim(&victim, NoiseModel::none()).unwrap();
             attacker.leak_directions(&mut system, pid, 100_000).unwrap()
         });
-    });
+    }
 
-    group.bench_function("nv_s_full_trace_extraction", |b| {
-        let image = compile_gcd(
-            &CompileOptions::default(),
-            VirtAddr::new(0x40_0000),
-            48,
-            18,
-        )
-        .unwrap();
-        b.iter(|| {
+    {
+        let image =
+            compile_gcd(&CompileOptions::default(), VirtAddr::new(0x40_0000), 48, 18).unwrap();
+        bench("attacks", "nv_s_full_trace_extraction", || {
             let mut enclave = Enclave::new(image.program().clone());
             let mut core = Core::new(UarchConfig::default());
             NvSupervisor::new(SupervisorConfig::default())
                 .extract_trace(&mut enclave, &mut core)
                 .unwrap()
         });
-    });
-    group.finish();
+    }
 }
-
-criterion_group!(benches, bench_attack);
-criterion_main!(benches);

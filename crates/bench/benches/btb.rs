@@ -1,43 +1,45 @@
 //! Microbenchmarks for the BTB model: the structure every simulated
 //! instruction consults.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use nv_bench::microbench::bench;
 use nv_isa::VirtAddr;
 use nv_uarch::{BranchKind, Btb, BtbGeometry};
 
-fn bench_btb(c: &mut Criterion) {
-    let mut group = c.benchmark_group("btb");
-
-    group.bench_function("lookup_hit", |b| {
+fn main() {
+    {
         let mut btb = Btb::new(BtbGeometry::default());
         btb.allocate(
             VirtAddr::new(0x40_0010),
             VirtAddr::new(0x40_0100),
             BranchKind::DirectJump,
         );
-        b.iter(|| btb.lookup(std::hint::black_box(VirtAddr::new(0x40_0000))));
-    });
+        bench("btb", "lookup_hit", || {
+            btb.lookup(std::hint::black_box(VirtAddr::new(0x40_0000)))
+        });
+    }
 
-    group.bench_function("lookup_miss", |b| {
+    {
         let mut btb = Btb::new(BtbGeometry::default());
-        b.iter(|| btb.lookup(std::hint::black_box(VirtAddr::new(0x40_0000))));
-    });
+        bench("btb", "lookup_miss", || {
+            btb.lookup(std::hint::black_box(VirtAddr::new(0x40_0000)))
+        });
+    }
 
-    group.bench_function("allocate_update", |b| {
+    {
         let mut btb = Btb::new(BtbGeometry::default());
-        b.iter(|| {
+        bench("btb", "allocate_update", || {
             btb.allocate(
                 std::hint::black_box(VirtAddr::new(0x40_0010)),
                 VirtAddr::new(0x40_0100),
                 BranchKind::CondBranch,
             )
         });
-    });
+    }
 
-    group.bench_function("allocate_evict", |b| {
+    {
         let mut btb = Btb::new(BtbGeometry::default());
         let mut i = 0u64;
-        b.iter(|| {
+        bench("btb", "allocate_evict", || {
             // Walk tags so every allocation lands in one full set.
             i += 1;
             btb.allocate(
@@ -46,34 +48,36 @@ fn bench_btb(c: &mut Criterion) {
                 BranchKind::DirectJump,
             )
         });
-    });
+    }
 
-    group.bench_function("flush_4096_entries", |b| {
-        let mut btb = Btb::new(BtbGeometry::default());
-        for i in 0..4096u64 {
-            btb.allocate(
-                VirtAddr::new(0x40_0000 + i * 32),
-                VirtAddr::new(0),
-                BranchKind::DirectJump,
-            );
-        }
-        b.iter(|| btb.flush());
-    });
+    {
+        // Refill inside the measured body so every flush sees a full
+        // table (criterion's b.iter re-used a once-filled one, which
+        // only the first iteration actually flushed).
+        bench("btb", "flush_4096_entries", || {
+            let mut btb = Btb::new(BtbGeometry::default());
+            for i in 0..4096u64 {
+                btb.allocate(
+                    VirtAddr::new(0x40_0000 + i * 32),
+                    VirtAddr::new(0),
+                    BranchKind::DirectJump,
+                );
+            }
+            btb.flush();
+        });
+    }
 
-    group.bench_function("ibpb_barrier", |b| {
-        let mut btb = Btb::new(BtbGeometry::default());
-        for i in 0..2048u64 {
-            btb.allocate(
-                VirtAddr::new(0x40_0000 + i * 32),
-                VirtAddr::new(0),
-                BranchKind::IndirectJump,
-            );
-        }
-        b.iter(|| btb.indirect_predictor_barrier());
-    });
-
-    group.finish();
+    {
+        bench("btb", "ibpb_barrier", || {
+            let mut btb = Btb::new(BtbGeometry::default());
+            for i in 0..2048u64 {
+                btb.allocate(
+                    VirtAddr::new(0x40_0000 + i * 32),
+                    VirtAddr::new(0),
+                    BranchKind::IndirectJump,
+                );
+            }
+            btb.indirect_predictor_barrier();
+        });
+    }
 }
-
-criterion_group!(benches, bench_btb);
-criterion_main!(benches);

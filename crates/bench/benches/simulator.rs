@@ -1,13 +1,13 @@
 //! Throughput of the simulated core: instructions per second on the GCD
 //! victim, with and without the attack machinery.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use nv_bench::experiments::{experiment1_elapsed, experiment2_elapsed};
+use nv_bench::microbench::{bench, bench_with_elements};
 use nv_isa::VirtAddr;
 use nv_uarch::{Core, Machine, RunExit, UarchConfig};
 use nv_victims::compile::{compile_gcd, CompileOptions};
 
-fn bench_simulator(c: &mut Criterion) {
+fn main() {
     let image = compile_gcd(
         &CompileOptions::default(),
         VirtAddr::new(0x40_0000),
@@ -16,7 +16,6 @@ fn bench_simulator(c: &mut Criterion) {
     )
     .expect("compiles");
 
-    let mut group = c.benchmark_group("simulator");
     // Count retired instructions once for throughput normalization.
     let retired = {
         let mut machine = Machine::new(image.program().clone());
@@ -24,25 +23,16 @@ fn bench_simulator(c: &mut Criterion) {
         assert_eq!(core.run(&mut machine, 1_000_000), RunExit::Syscall(0));
         core.stats().retired
     };
-    group.throughput(Throughput::Elements(retired));
-    group.bench_function("run_gcd_to_completion", |b| {
-        b.iter(|| {
-            let mut machine = Machine::new(image.program().clone());
-            let mut core = Core::new(UarchConfig::default());
-            core.run(&mut machine, 1_000_000)
-        });
+    bench_with_elements("simulator", "run_gcd_to_completion", retired, || {
+        let mut machine = Machine::new(image.program().clone());
+        let mut core = Core::new(UarchConfig::default());
+        core.run(&mut machine, 1_000_000)
     });
-    group.finish();
 
-    let mut group = c.benchmark_group("paper_experiments");
-    group.bench_function("experiment1_iteration", |b| {
-        b.iter(|| experiment1_elapsed(0x10, 0x08, 0x1c, true));
+    bench("paper_experiments", "experiment1_iteration", || {
+        experiment1_elapsed(0x10, 0x08, 0x1c, true)
     });
-    group.bench_function("experiment2_iteration", |b| {
-        b.iter(|| experiment2_elapsed(0x04, 0x08, true));
+    bench("paper_experiments", "experiment2_iteration", || {
+        experiment2_elapsed(0x04, 0x08, true)
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_simulator);
-criterion_main!(benches);

@@ -18,7 +18,6 @@ use nv_os::System;
 use nv_uarch::UarchConfig;
 use nv_victims::{GcdVictim, VictimConfig, VictimProgram};
 
-
 /// Whether a channel recovers every branch direction of `victim`.
 /// `barrier` inserts an IBPB after every victim slice.
 fn nv_u_works(victim: &VictimProgram, barrier: bool) -> bool {
@@ -103,7 +102,11 @@ fn main() {
         ("balanced + align16", VictimConfig::paper_hardened(), false),
         ("balanced + align16 + CFR", VictimConfig::with_cfr(7), false),
         ("balanced + CFR + IBPB", VictimConfig::with_cfr(7), true),
-        ("data-oblivious (cmov)", VictimConfig::data_oblivious(), false),
+        (
+            "data-oblivious (cmov)",
+            VictimConfig::data_oblivious(),
+            false,
+        ),
     ];
 
     println!("# Defense matrix (§5, Figure 8): does the channel recover the secret?");
@@ -111,7 +114,12 @@ fn main() {
     println!(
         "{}",
         row(
-            &["victim".into(), "count".into(), "branch".into(), "nv-u".into()],
+            &[
+                "victim".into(),
+                "count".into(),
+                "branch".into(),
+                "nv-u".into()
+            ],
             &widths
         )
     );
@@ -123,10 +131,7 @@ fn main() {
         let nv = nv_u_works(&victim, barrier);
         println!(
             "{}",
-            row(
-                &[name.into(), mark(count), mark(branch), mark(nv)],
-                &widths
-            )
+            row(&[name.into(), mark(count), mark(branch), mark(nv)], &widths)
         );
     }
     println!("# paper: only data-oblivious programming stops NightVision (§8.2)");

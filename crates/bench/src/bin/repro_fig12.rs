@@ -14,12 +14,15 @@
 //! unrelated corpus function scores far lower.
 //!
 //! Flags: `--functions N` (default 20 000), `--full` (the paper's
-//! 175 168), `--top K` (default 10 printed rows).
+//! 175 168), `--top K` (default 10 printed rows), `--threads N` (fan the
+//! corpus scoring out through the campaign engine; output is identical
+//! for any value).
 
 use std::collections::BTreeSet;
 
+use nightvision::campaign::Campaign;
 use nightvision::fingerprint::ReferenceFunction;
-use nv_bench::{arg_present, arg_value, nv_s_main_function_set, similarity_pct};
+use nv_bench::{arg_present, arg_value, nv_s_main_function_set, similarity_pct, threads_flag};
 use nv_corpus::{generate, CorpusConfig};
 use nv_isa::VirtAddr;
 use nv_victims::compile::{compile_gcd, CompileOptions};
@@ -37,6 +40,7 @@ fn main() {
     let top: usize = arg_value(&args, "--top")
         .and_then(|v| v.parse().ok())
         .unwrap_or(10);
+    let threads = threads_flag(&args);
 
     // References: static PC sets of the two vulnerable functions (§6.4
     // step 1 — prepared offline from the known library binaries).
@@ -47,8 +51,7 @@ fn main() {
         65537,
     )
     .expect("gcd compiles");
-    let gcd_reference =
-        ReferenceFunction::new("GCD", gcd_image.static_pc_offsets());
+    let gcd_reference = ReferenceFunction::new("GCD", gcd_image.static_pc_offsets());
 
     let bn_victim = BnCmpVictim::build(
         &[0x1234_5678, 0x9abc_def1],
@@ -87,16 +90,49 @@ fn main() {
         ("bn_cmp", &bn_reference, &bn_trace, "bn_cmp (NV-S trace)"),
     ] {
         let mut scored: Vec<(String, f64)> = Vec::with_capacity(functions + 2);
-        scored.push((own_name.to_string(), similarity_pct(own_trace, reference.offsets())));
-        let other = if ref_name == "GCD" { &bn_trace } else { &gcd_trace };
-        let other_name = if ref_name == "GCD" { "bn_cmp (NV-S trace)" } else { "GCD (NV-S trace)" };
-        scored.push((other_name.to_string(), similarity_pct(other, reference.offsets())));
-        for f in corpus.functions() {
-            let set: BTreeSet<u64> = f.trace_set();
-            scored.push((format!("corpus#{}", f.id()), similarity_pct(&set, reference.offsets())));
-        }
+        scored.push((
+            own_name.to_string(),
+            similarity_pct(own_trace, reference.offsets()),
+        ));
+        let other = if ref_name == "GCD" {
+            &bn_trace
+        } else {
+            &gcd_trace
+        };
+        let other_name = if ref_name == "GCD" {
+            "bn_cmp (NV-S trace)"
+        } else {
+            "GCD (NV-S trace)"
+        };
+        scored.push((
+            other_name.to_string(),
+            similarity_pct(other, reference.offsets()),
+        ));
+        // Score the corpus in chunks across the worker pool; chunks merge
+        // in index order, so the ranking is thread-count-invariant.
+        let all = corpus.functions();
+        let chunk_size = all.len().div_ceil((threads * 8).max(1)).max(1);
+        let chunks = all.len().div_ceil(chunk_size);
+        let chunk_scores = Campaign::new(chunks).threads(threads).run(|trial| {
+            let lo = trial.index * chunk_size;
+            let hi = (lo + chunk_size).min(all.len());
+            all[lo..hi]
+                .iter()
+                .map(|f| {
+                    let set: BTreeSet<u64> = f.trace_set();
+                    (
+                        format!("corpus#{}", f.id()),
+                        similarity_pct(&set, reference.offsets()),
+                    )
+                })
+                .collect::<Vec<_>>()
+        });
+        scored.extend(chunk_scores.into_iter().flatten());
         scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
-        println!("\n# Figure 12 — top-{top} similarity vs reference {ref_name} ({} victims)", scored.len());
+        println!(
+            "\n# Figure 12 — top-{top} similarity vs reference {ref_name} ({} victims)",
+            scored.len()
+        );
         for (rank, (name, score)) in scored.iter().take(top).enumerate() {
             println!("{:>3}. {:<24} {:>6.1}%", rank + 1, name, score);
         }

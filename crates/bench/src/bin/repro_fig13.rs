@@ -11,10 +11,13 @@
 //! 2. the GCC version alone does not move the numbers;
 //! 3. optimization levels split the matrix along the diagonal.
 //!
-//! Flags: `--axis version|opt|gcc|all` (default all).
+//! Flags: `--axis version|opt|gcc|all` (default all), `--threads N` (one
+//! NV-S extraction per matrix row fans out through the campaign engine;
+//! the matrix is identical for any value).
 
+use nightvision::campaign::Campaign;
 use nightvision::fingerprint::ReferenceFunction;
-use nv_bench::{arg_value, nv_s_main_function_set, similarity_pct, row};
+use nv_bench::{arg_value, nv_s_main_function_set, row, similarity_pct, threads_flag};
 use nv_isa::VirtAddr;
 use nv_victims::compile::{compile_gcd, CompileOptions, GccVersion, LibraryVersion, OptLevel};
 
@@ -22,7 +25,7 @@ const BASE: u64 = 0x40_0000;
 const A: u64 = 0xbeef_1235;
 const B: u64 = 65537;
 
-fn matrix(configs: &[(String, CompileOptions)]) {
+fn matrix(configs: &[(String, CompileOptions)], threads: usize) {
     let references: Vec<ReferenceFunction> = configs
         .iter()
         .map(|(name, options)| {
@@ -36,13 +39,22 @@ fn matrix(configs: &[(String, CompileOptions)]) {
     let mut header: Vec<String> = vec!["victim\\ref".into()];
     header.extend(configs.iter().map(|(n, _)| n.clone()));
     println!("{}", row(&header, &widths));
-    for (name, options) in configs {
+    // One NV-S extraction per row — the expensive part — runs as one
+    // campaign trial; rows print in config order regardless of threads.
+    let rows = Campaign::new(configs.len()).threads(threads).run(|trial| {
+        let (name, options) = &configs[trial.index];
         let image = compile_gcd(options, VirtAddr::new(BASE), A, B).expect("compiles");
         let trace = nv_s_main_function_set(image.program());
         let mut cells = vec![name.clone()];
         for reference in &references {
-            cells.push(format!("{:.1}", similarity_pct(&trace, reference.offsets())));
+            cells.push(format!(
+                "{:.1}",
+                similarity_pct(&trace, reference.offsets())
+            ));
         }
+        cells
+    });
+    for cells in rows {
         println!("{}", row(&cells, &widths));
     }
 }
@@ -50,6 +62,7 @@ fn matrix(configs: &[(String, CompileOptions)]) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let axis = arg_value(&args, "--axis").unwrap_or_else(|| "all".into());
+    let threads = threads_flag(&args);
 
     if axis == "version" || axis == "all" {
         println!("# Figure 13 (left): GCD similarity across mbedTLS versions (gcc 7.5, -O2)");
@@ -65,7 +78,7 @@ fn main() {
                 )
             })
             .collect();
-        matrix(&configs);
+        matrix(&configs, threads);
         println!("# paper: high within 2.5-2.15, low across the 2.16 reimplementation\n");
     }
     if axis == "opt" || axis == "all" {
@@ -82,7 +95,7 @@ fn main() {
                 )
             })
             .collect();
-        matrix(&configs);
+        matrix(&configs, threads);
         println!("# paper: strong diagonal; -O0 vs -O2/-O3 similarity collapses\n");
     }
     if axis == "gcc" || axis == "all" {
@@ -99,6 +112,6 @@ fn main() {
                 )
             })
             .collect();
-        matrix(&configs);
+        matrix(&configs, threads);
     }
 }

@@ -19,7 +19,12 @@ fn main() {
     println!(
         "{}",
         row(
-            &["F2".into(), "with_F2".into(), "baseline".into(), "gap".into()],
+            &[
+                "F2".into(),
+                "with_F2".into(),
+                "baseline".into(),
+                "gap".into()
+            ],
             &widths
         )
     );

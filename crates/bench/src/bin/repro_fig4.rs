@@ -16,7 +16,12 @@ fn main() {
     println!(
         "{}",
         row(
-            &["F1".into(), "with_F2".into(), "baseline".into(), "gap".into()],
+            &[
+                "F1".into(),
+                "with_F2".into(),
+                "baseline".into(),
+                "gap".into()
+            ],
             &widths
         )
     );

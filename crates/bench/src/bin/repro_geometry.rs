@@ -32,8 +32,7 @@ fn detects(cutoff: u32, distance_bits: u32) -> bool {
     };
     let mut core = Core::new(config_with(geometry));
     let pw = PwSpec::new(VirtAddr::new(0x40_0200), 16).expect("window");
-    let mut rig =
-        AttackerRig::with_alias_distance(vec![pw], 1u64 << distance_bits).expect("rig");
+    let mut rig = AttackerRig::with_alias_distance(vec![pw], 1u64 << distance_bits).expect("rig");
     rig.calibrate(&mut core).expect("calibrate");
     let mut asm = Assembler::new(VirtAddr::new(0x40_0200));
     for _ in 0..16 {
@@ -65,10 +64,8 @@ fn false_positive(ways: usize, branches: usize) -> bool {
     let mut asm = Assembler::new(VirtAddr::new(0x40_0200 + (1 << 14)));
     for i in 0..branches {
         asm.jmp32(&format!("hop{i}"));
-        asm.org(VirtAddr::new(
-            0x40_0200 + ((i as u64 + 2) << 14),
-        ))
-        .expect("org");
+        asm.org(VirtAddr::new(0x40_0200 + ((i as u64 + 2) << 14)))
+            .expect("org");
         asm.label(format!("hop{i}"));
     }
     asm.halt();

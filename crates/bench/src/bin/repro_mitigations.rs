@@ -58,7 +58,10 @@ fn main() {
         .expect("victim builds");
     let baseline_cycles = victim_cycles(&victim, BtbMitigation::None);
 
-    println!("# §8.2 mitigation evaluation (victim: hardened GCD, {} iterations)", victim.iterations());
+    println!(
+        "# §8.2 mitigation evaluation (victim: hardened GCD, {} iterations)",
+        victim.iterations()
+    );
     let widths = [22, 16, 14, 12];
     println!(
         "{}",
@@ -86,7 +89,10 @@ fn main() {
                     name.into(),
                     format!("{:.1}%", accuracy * 100.0),
                     cycles.to_string(),
-                    format!("{:+.1}%", 100.0 * (cycles as f64 / baseline_cycles as f64 - 1.0)),
+                    format!(
+                        "{:+.1}%",
+                        100.0 * (cycles as f64 / baseline_cycles as f64 - 1.0)
+                    ),
                 ],
                 &widths
             )
@@ -104,7 +110,10 @@ fn main() {
                 "data-oblivious code".into(),
                 "0.0% (no windows)".into(),
                 cycles.to_string(),
-                format!("{:+.1}%", 100.0 * (cycles as f64 / baseline_cycles as f64 - 1.0)),
+                format!(
+                    "{:+.1}%",
+                    100.0 * (cycles as f64 / baseline_cycles as f64 - 1.0)
+                ),
             ],
             &widths
         )

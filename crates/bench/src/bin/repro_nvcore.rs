@@ -5,8 +5,17 @@
 //! execution overlaps the attacker's monitored window in the prescribed
 //! way; NV-Core must report a match for every overlap case and no match
 //! for the disjoint controls.
+//!
+//! The paper's accuracy numbers average many noisy Prime+Probe trials, so
+//! the validation can be repeated: `--trials N` (default 1) runs the whole
+//! case battery N times and reports the per-case pass rate, and
+//! `--threads N` fans the trials out through the campaign engine. The
+//! simulator is deterministic, so the aggregate is byte-identical for any
+//! thread count — the flags exercise throughput, not luck.
 
+use nightvision::campaign::Campaign;
 use nightvision::{NvCore, PwSpec};
+use nv_bench::{arg_value, threads_flag};
 use nv_isa::{Assembler, VirtAddr};
 use nv_uarch::{Core, Machine, UarchConfig};
 
@@ -19,11 +28,9 @@ fn fragment(build: impl FnOnce(&mut Assembler), entry: u64) -> Machine {
     Machine::new(asm.finish().expect("fragment assembles"))
 }
 
-fn main() {
-    let pw = PwSpec::new(VirtAddr::new(MON), 16).expect("window");
-    println!("# NV-Core overlap-case validation (Figure 5), window {pw}");
-
-    let cases: Vec<(&str, Machine, bool)> = vec![
+/// The Figure 5 case battery: `(name, victim, expected match)`.
+fn overlap_cases() -> Vec<(&'static str, Machine, bool)> {
+    vec![
         (
             "case 1: victim PW ends with a taken jump inside the window",
             fragment(
@@ -53,36 +60,62 @@ fn main() {
         ),
         (
             "case 3: victim nops enter the window from below",
-            fragment(|asm| for _ in 0..24 {
-                asm.nop();
-            }, MON - 8),
+            fragment(
+                |asm| {
+                    for _ in 0..24 {
+                        asm.nop();
+                    }
+                },
+                MON - 8,
+            ),
             true,
         ),
         (
             "case 4: victim nops cover the whole window",
-            fragment(|asm| for _ in 0..20 {
-                asm.nop();
-            }, MON),
+            fragment(
+                |asm| {
+                    for _ in 0..20 {
+                        asm.nop();
+                    }
+                },
+                MON,
+            ),
             true,
         ),
         (
             "control: victim entirely below the window",
-            fragment(|asm| for _ in 0..8 {
-                asm.nop();
-            }, MON - 32),
+            fragment(
+                |asm| {
+                    for _ in 0..8 {
+                        asm.nop();
+                    }
+                },
+                MON - 32,
+            ),
             false,
         ),
         (
             "control: victim entirely above the window",
-            fragment(|asm| for _ in 0..8 {
-                asm.nop();
-            }, MON + 16),
+            fragment(
+                |asm| {
+                    for _ in 0..8 {
+                        asm.nop();
+                    }
+                },
+                MON + 16,
+            ),
             false,
         ),
-    ];
+    ]
+}
 
-    let mut all_ok = true;
-    for (name, mut victim, expected) in cases {
+/// One full trial: all Figure 5 cases plus the Figure 7 chained-PW pass.
+/// Returns the per-case verdicts (`matched == expected`) with the chained
+/// check appended last.
+fn run_trial() -> Vec<bool> {
+    let pw = PwSpec::new(VirtAddr::new(MON), 16).expect("window");
+    let mut verdicts = Vec::new();
+    for (_, mut victim, expected) in overlap_cases() {
         let mut core = Core::new(UarchConfig::default());
         let mut nv = NvCore::new(vec![pw]).expect("nv-core");
         nv.begin(&mut core).expect("calibrate");
@@ -92,17 +125,10 @@ fn main() {
                 core.run(&mut victim, 1000);
             })
             .expect("measure")[0];
-        let ok = matched == expected;
-        all_ok &= ok;
-        println!(
-            "{} -> matched={matched} (expected {expected}) {}",
-            name,
-            if ok { "OK" } else { "MISMATCH" }
-        );
+        verdicts.push(matched == expected);
     }
 
     // Figure 7: two chained PWs measured in one pass.
-    println!("\n# chained PWs (Figure 7): victim touches only the second window");
     let pws = vec![
         PwSpec::new(VirtAddr::new(MON), 16).unwrap(),
         PwSpec::new(VirtAddr::new(MON + 0x40), 16).unwrap(),
@@ -110,17 +136,75 @@ fn main() {
     let mut core = Core::new(UarchConfig::default());
     let mut nv = NvCore::new(pws).expect("chained nv-core");
     nv.begin(&mut core).expect("calibrate");
-    let mut victim = fragment(|asm| for _ in 0..8 {
-        asm.nop();
-    }, MON + 0x40);
+    let mut victim = fragment(
+        |asm| {
+            for _ in 0..8 {
+                asm.nop();
+            }
+        },
+        MON + 0x40,
+    );
     let matched = nv
         .measure(&mut core, |core| {
             core.reset_frontend();
             core.run(&mut victim, 1000);
         })
         .expect("measure");
-    println!("matched = {matched:?} (expected [false, true])");
-    all_ok &= matched == vec![false, true];
+    verdicts.push(matched == vec![false, true]);
+    verdicts
+}
 
-    println!("\nresult: {}", if all_ok { "ALL CASES OK" } else { "MISMATCHES PRESENT" });
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let trials: usize = arg_value(&args, "--trials")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+        .max(1);
+    let threads = threads_flag(&args);
+
+    let pw = PwSpec::new(VirtAddr::new(MON), 16).expect("window");
+    // The worker count is deliberately absent from the output: results
+    // must be byte-identical for any --threads value.
+    println!("# NV-Core overlap-case validation (Figure 5), window {pw}");
+    println!("# {trials} trial(s)");
+
+    let per_trial = Campaign::new(trials)
+        .threads(threads)
+        .run(|_trial| run_trial());
+
+    let case_count = per_trial[0].len();
+    let mut pass_counts = vec![0usize; case_count];
+    for verdicts in &per_trial {
+        for (case, &ok) in verdicts.iter().enumerate() {
+            pass_counts[case] += usize::from(ok);
+        }
+    }
+
+    let names: Vec<&str> = overlap_cases()
+        .into_iter()
+        .map(|(name, _, _)| name)
+        .collect();
+    let mut all_ok = true;
+    for (case, name) in names.iter().enumerate() {
+        let passed = pass_counts[case];
+        all_ok &= passed == trials;
+        println!(
+            "{name} -> {passed}/{trials} trials OK{}",
+            if passed == trials { "" } else { "  MISMATCH" }
+        );
+    }
+
+    println!("\n# chained PWs (Figure 7): victim touches only the second window");
+    let chained_passed = pass_counts[case_count - 1];
+    all_ok &= chained_passed == trials;
+    println!("expected [false, true] -> {chained_passed}/{trials} trials OK");
+
+    println!(
+        "\nresult: {}",
+        if all_ok {
+            "ALL CASES OK"
+        } else {
+            "MISMATCHES PRESENT"
+        }
+    );
 }

@@ -36,8 +36,8 @@ fn main() {
     let victim_set = trace_to_set(&victim_trace);
     let set_reference: std::collections::BTreeSet<u64> =
         image.static_pc_offsets().into_iter().collect();
-    let seq_reference =
-        reference_dynamic_trace(image.program(), image.entry(), image.end());
+    let seq_reference = reference_dynamic_trace(image.program(), image.entry(), image.end())
+        .expect("reference binary terminates within budget");
 
     let corpus = generate(&CorpusConfig {
         functions,

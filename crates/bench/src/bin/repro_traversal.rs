@@ -55,10 +55,11 @@ fn main() {
     println!("# N > 16 is rejected: each window costs two LBR records per probe,");
     println!("# and the LBR keeps only 32 — the fan-out's physical budget");
     let too_many: Vec<nightvision::PwSpec> = (0..17)
-        .map(|i| {
-            nightvision::PwSpec::new(VirtAddr::new(0x40_0000 + i * 32), 32).expect("window")
-        })
+        .map(|i| nightvision::PwSpec::new(VirtAddr::new(0x40_0000 + i * 32), 32).expect("window"))
         .collect();
     let rejected = nightvision::AttackerRig::new(too_many);
-    println!("17-window rig: {}", rejected.err().expect("must be rejected"));
+    println!(
+        "17-window rig: {}",
+        rejected.err().expect("must be rejected")
+    );
 }

@@ -134,5 +134,8 @@ pub fn experiment2_elapsed(f1_off: u64, f2_off: u64, call_f2: bool) -> u64 {
         .iter()
         .position(|r| r.from == l1)
         .expect("ret recorded");
-    records[call_idx + 1..=ret_idx].iter().map(|r| r.elapsed).sum()
+    records[call_idx + 1..=ret_idx]
+        .iter()
+        .map(|r| r.elapsed)
+        .sum()
 }

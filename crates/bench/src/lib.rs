@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod microbench;
 
 use std::collections::BTreeSet;
 
@@ -41,6 +42,17 @@ pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
 /// `true` if the bare flag is present.
 pub fn arg_present(args: &[String], flag: &str) -> bool {
     args.iter().any(|a| a == flag)
+}
+
+/// Parses the shared `--threads N` flag (default 1). Thread count affects
+/// wall-clock time only: every binary routes trials through the
+/// [`nightvision::campaign`] engine, whose merged output is byte-identical
+/// for any value.
+pub fn threads_flag(args: &[String]) -> usize {
+    arg_value(args, "--threads")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+        .max(1)
 }
 
 /// Runs the full NV-S attack against `program` loaded as an enclave and
@@ -69,11 +81,15 @@ pub fn nv_s_function_sets(
 /// The largest sliced function of an NV-S run — the victim function of
 /// interest in single-call images.
 pub fn nv_s_main_function_set(program: &nv_isa::Program) -> BTreeSet<u64> {
-    nv_s_function_sets(program, &UarchConfig::default(), &SupervisorConfig::default())
-        .into_iter()
-        .max_by_key(|(_, set)| set.len())
-        .map(|(_, set)| set)
-        .unwrap_or_default()
+    nv_s_function_sets(
+        program,
+        &UarchConfig::default(),
+        &SupervisorConfig::default(),
+    )
+    .into_iter()
+    .max_by_key(|(_, set)| set.len())
+    .map(|(_, set)| set)
+    .unwrap_or_default()
 }
 
 /// Like [`nv_s_main_function_set`] but preserving execution order — the
@@ -91,19 +107,55 @@ pub fn nv_s_main_function_trace(program: &nv_isa::Program) -> Vec<u64> {
         .unwrap_or_default()
 }
 
+/// Step budget for [`reference_dynamic_trace`]: generous for every victim
+/// in the suite, small enough to catch runaway reference binaries.
+pub const REFERENCE_TRACE_MAX_STEPS: u64 = 1_000_000;
+
+/// The reference execution ran out of its step budget before terminating.
+///
+/// Returned instead of silently truncating: a truncated reference trace
+/// would quietly deflate every similarity percentage computed against it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ReferenceTraceTruncated {
+    /// The exhausted step budget.
+    pub max_steps: u64,
+    /// In-function offsets collected before the budget ran out.
+    pub collected: usize,
+}
+
+impl std::fmt::Display for ReferenceTraceTruncated {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "reference binary did not terminate within {} steps ({} in-function offsets collected); \
+             the trace would be truncated and similarity percentages corrupted",
+            self.max_steps, self.collected
+        )
+    }
+}
+
+impl std::error::Error for ReferenceTraceTruncated {}
+
 /// The attacker-side *reference* dynamic trace: run the (owned) reference
 /// binary architecturally and record the retired PCs within the function,
 /// normalized to its entry (§6.4's offline preparation, sequence flavor).
+///
+/// # Errors
+///
+/// Fails with [`ReferenceTraceTruncated`] if the reference binary does not
+/// halt, fault or exit within [`REFERENCE_TRACE_MAX_STEPS`] steps — a
+/// partial trace is an error, not an answer, because downstream similarity
+/// percentages would be silently wrong.
 pub fn reference_dynamic_trace(
     program: &nv_isa::Program,
     entry: VirtAddr,
     end: VirtAddr,
-) -> Vec<u64> {
+) -> Result<Vec<u64>, ReferenceTraceTruncated> {
     use nv_uarch::Machine;
     let mut machine = Machine::new(program.clone());
     let mut core = Core::new(UarchConfig::default());
     let mut offsets = Vec::new();
-    for _ in 0..1_000_000u64 {
+    for _ in 0..REFERENCE_TRACE_MAX_STEPS {
         let step = core.step(&mut machine);
         for retired in step.retired() {
             if retired.pc >= entry && retired.pc < end {
@@ -111,10 +163,13 @@ pub fn reference_dynamic_trace(
             }
         }
         if step.halted || step.fault.is_some() || step.syscall == Some(0) {
-            break;
+            return Ok(offsets);
         }
     }
-    offsets
+    Err(ReferenceTraceTruncated {
+        max_steps: REFERENCE_TRACE_MAX_STEPS,
+        collected: offsets.len(),
+    })
 }
 
 /// Similarity of an extracted set against a reference, as a percentage.

@@ -1,0 +1,68 @@
+//! A minimal std-only timing harness for the `benches/` targets.
+//!
+//! The workspace builds fully offline, so the benches cannot depend on
+//! criterion; this module supplies the 5 % of criterion they used:
+//! warm-up, automatic iteration-count calibration, and a stable one-line
+//! `group/name  time/iter  (iters)` report. Invoke with
+//! `cargo bench --features bench`.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target measurement window per benchmark. Long enough to amortize timer
+/// overhead, short enough that a full bench run stays interactive.
+const TARGET: Duration = Duration::from_millis(200);
+
+/// Upper bound on calibrated iterations (guards against ~ns bodies).
+const MAX_ITERS: u64 = 50_000_000;
+
+/// Times `f` and prints one report line under `group/name`.
+///
+/// The closure's return value is passed through [`black_box`] so the
+/// optimizer cannot delete the measured work.
+pub fn bench<T>(group: &str, name: &str, mut f: impl FnMut() -> T) {
+    bench_inner(group, name, None, &mut || {
+        black_box(f());
+    });
+}
+
+/// Like [`bench`], but also reports `elements / second` throughput — the
+/// criterion `Throughput::Elements` replacement.
+pub fn bench_with_elements<T>(group: &str, name: &str, elements: u64, mut f: impl FnMut() -> T) {
+    bench_inner(group, name, Some(elements), &mut || {
+        black_box(f());
+    });
+}
+
+fn bench_inner(group: &str, name: &str, elements: Option<u64>, f: &mut dyn FnMut()) {
+    // Warm-up and calibration: time a single iteration, derive the count
+    // that fills the target window.
+    f();
+    let probe_start = Instant::now();
+    f();
+    let probe = probe_start.elapsed().max(Duration::from_nanos(1));
+    let iters = (TARGET.as_nanos() / probe.as_nanos()).clamp(1, MAX_ITERS as u128) as u64;
+
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let total = start.elapsed();
+    let per_iter = total.as_nanos() as f64 / iters as f64;
+
+    let time = if per_iter >= 1_000_000.0 {
+        format!("{:.3} ms/iter", per_iter / 1_000_000.0)
+    } else if per_iter >= 1_000.0 {
+        format!("{:.3} us/iter", per_iter / 1_000.0)
+    } else {
+        format!("{per_iter:.1} ns/iter")
+    };
+    let throughput = match elements {
+        Some(n) if per_iter > 0.0 => {
+            let per_sec = n as f64 * 1e9 / per_iter;
+            format!("  {:.2} Melem/s", per_sec / 1e6)
+        }
+        _ => String::new(),
+    };
+    println!("{group}/{name:<28} {time:>16}  ({iters} iters){throughput}");
+}

@@ -44,10 +44,7 @@ pub fn leak_by_instruction_count(
                 counts.push(retired);
                 break;
             }
-            if step.halted
-                || step.fault.is_some()
-                || step.syscall == Some(nv_os::syscalls::EXIT)
-            {
+            if step.halted || step.fault.is_some() || step.syscall == Some(nv_os::syscalls::EXIT) {
                 break 'slices;
             }
         }
@@ -100,9 +97,7 @@ impl BranchTargetProbe {
                 pc += 1u64;
                 continue;
             };
-            if inst.kind() == InstKind::CondBranch
-                && inst.direct_target(pc) == Some(then_start)
-            {
+            if inst.kind() == InstKind::CondBranch && inst.direct_target(pc) == Some(then_start) {
                 return Some(BranchTargetProbe {
                     branch_end: pc.offset(inst.len() as u64 - 1),
                 });
@@ -205,8 +200,7 @@ mod tests {
     fn branch_probe_breaks_balanced_victims() {
         // Balancing does NOT stop branch-predictor attacks — that is CFR's
         // job (the arms race of §5.1).
-        let victim =
-            GcdVictim::build(0xdead_beef, 65537, &VictimConfig::paper_hardened()).unwrap();
+        let victim = GcdVictim::build(0xdead_beef, 65537, &VictimConfig::paper_hardened()).unwrap();
         let probe = BranchTargetProbe::locate(&victim).expect("plain victim has the branch");
         let (mut system, pid) = system_with(&victim);
         let directions = probe.leak_directions(&mut system, pid, 10_000);

@@ -1,0 +1,221 @@
+//! Multi-threaded trial campaigns with deterministic merging.
+//!
+//! The paper's accuracy numbers are *averages over many noisy trials*:
+//! §7.2 runs the GCD attack 100 times, Fig. 12/13 score tens of thousands
+//! of corpus functions, and every number is only as trustworthy as the
+//! trial count behind it. Trials are embarrassingly parallel — each is a
+//! pure function of `(master_seed, trial_index)` — so this module fans
+//! them out across `std::thread` workers while keeping the merged result
+//! **byte-identical for any thread count**:
+//!
+//! * every trial gets its own [`nv_rand::Rng::stream`] child generator,
+//!   derived from the campaign's master seed and the trial index — never
+//!   from scheduling order;
+//! * workers pull indices from a shared atomic counter (no per-thread
+//!   pre-partitioning, so stragglers don't idle the pool);
+//! * results land in their trial-index slot and are returned in index
+//!   order, so folds over the output are oblivious to which worker ran
+//!   which trial.
+//!
+//! # Examples
+//!
+//! ```
+//! use nightvision::campaign::Campaign;
+//!
+//! let sums: Vec<u64> = Campaign::new(8)
+//!     .master_seed(42)
+//!     .threads(4)
+//!     .run(|mut trial| (0..100).map(|_| trial.rng.gen_range(0..10u64)).sum());
+//! // Same seed, any thread count: identical output.
+//! let serial: Vec<u64> = Campaign::new(8)
+//!     .master_seed(42)
+//!     .run(|mut trial| (0..100).map(|_| trial.rng.gen_range(0..10u64)).sum());
+//! assert_eq!(sums, serial);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use nv_rand::Rng;
+
+/// One trial's execution context: its index within the campaign and its
+/// private child generator (stream `index` of the campaign's master seed).
+#[derive(Debug)]
+pub struct Trial {
+    /// The trial's index, `0..trials`.
+    pub index: usize,
+    /// The trial's independent random stream. Deterministic in
+    /// `(master_seed, index)` — never in worker identity or timing.
+    pub rng: Rng,
+}
+
+/// A parallel trial campaign: `trials` executions of a closure, fanned out
+/// over `threads` workers, merged in trial-index order.
+#[derive(Clone, Copy, Debug)]
+pub struct Campaign {
+    trials: usize,
+    threads: usize,
+    master_seed: u64,
+}
+
+impl Campaign {
+    /// A campaign of `trials` trials on one thread with master seed 0.
+    #[must_use]
+    pub fn new(trials: usize) -> Campaign {
+        Campaign {
+            trials,
+            threads: 1,
+            master_seed: 0,
+        }
+    }
+
+    /// Sets the worker-thread count (0 is treated as 1). The thread count
+    /// affects wall-clock time only, never results.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Campaign {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the master seed that every trial's child stream derives from.
+    #[must_use]
+    pub fn master_seed(mut self, seed: u64) -> Campaign {
+        self.master_seed = seed;
+        self
+    }
+
+    /// Number of trials.
+    #[must_use]
+    pub fn trials(&self) -> usize {
+        self.trials
+    }
+
+    /// Runs the campaign and returns one result per trial, in trial-index
+    /// order.
+    ///
+    /// The closure must be a pure function of the [`Trial`] it receives
+    /// (plus immutable captured state) for the determinism guarantee to
+    /// hold; the engine guarantees the rest.
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from trial closures (the first panicking worker
+    /// aborts the campaign).
+    pub fn run<T, F>(&self, trial_fn: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Trial) -> T + Sync,
+    {
+        let make_trial = |index: usize| Trial {
+            index,
+            rng: Rng::stream(self.master_seed, index as u64),
+        };
+
+        if self.threads == 1 || self.trials <= 1 {
+            return (0..self.trials).map(|i| trial_fn(make_trial(i))).collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..self.trials).map(|_| None).collect());
+        let workers = self.threads.min(self.trials);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= self.trials {
+                        break;
+                    }
+                    let result = trial_fn(make_trial(index));
+                    slots.lock().expect("campaign worker panicked")[index] = Some(result);
+                });
+            }
+        });
+        slots
+            .into_inner()
+            .expect("campaign worker panicked")
+            .into_iter()
+            .map(|slot| slot.expect("every trial index was claimed"))
+            .collect()
+    }
+
+    /// Runs the campaign and folds the per-trial results in trial-index
+    /// order — the common "merge into one aggregate" shape.
+    pub fn run_fold<T, A, F, M>(&self, init: A, trial_fn: F, mut merge: M) -> A
+    where
+        T: Send,
+        F: Fn(Trial) -> T + Sync,
+        M: FnMut(A, T) -> A,
+    {
+        let mut acc = init;
+        for result in self.run(trial_fn) {
+            acc = merge(acc, result);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trial_signature(mut trial: Trial) -> (usize, Vec<u64>) {
+        (trial.index, (0..16).map(|_| trial.rng.next_u64()).collect())
+    }
+
+    #[test]
+    fn results_arrive_in_index_order() {
+        let results = Campaign::new(64).threads(8).run(|t| t.index);
+        assert_eq!(results, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn thread_count_never_changes_results() {
+        let baseline = Campaign::new(33).master_seed(0xfeed).run(trial_signature);
+        for threads in [2, 3, 8, 16] {
+            let parallel = Campaign::new(33)
+                .master_seed(0xfeed)
+                .threads(threads)
+                .run(trial_signature);
+            assert_eq!(baseline, parallel, "diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn master_seed_changes_streams() {
+        let a = Campaign::new(4).master_seed(1).run(trial_signature);
+        let b = Campaign::new(4).master_seed(2).run(trial_signature);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn trial_streams_are_pairwise_distinct() {
+        let results = Campaign::new(32).threads(4).run(trial_signature);
+        for i in 0..results.len() {
+            for j in i + 1..results.len() {
+                assert_ne!(results[i].1, results[j].1, "trials {i}/{j} share a stream");
+            }
+        }
+    }
+
+    #[test]
+    fn fold_merges_in_order() {
+        let concat = Campaign::new(10).threads(4).run_fold(
+            String::new(),
+            |t| t.index.to_string(),
+            |acc, s| acc + &s,
+        );
+        assert_eq!(concat, "0123456789");
+    }
+
+    #[test]
+    fn zero_trials_and_zero_threads_are_fine() {
+        let empty: Vec<usize> = Campaign::new(0).threads(0).run(|t| t.index);
+        assert!(empty.is_empty());
+        assert_eq!(Campaign::new(3).threads(0).run(|t| t.index), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn more_threads_than_trials() {
+        assert_eq!(Campaign::new(2).threads(64).run(|t| t.index), vec![0, 1]);
+    }
+}

@@ -45,7 +45,10 @@ impl fmt::Display for AttackError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AttackError::PwTooNarrow { start, end } => {
-                write!(f, "prediction window [{start}, {end}) is narrower than 2 bytes")
+                write!(
+                    f,
+                    "prediction window [{start}, {end}) is narrower than 2 bytes"
+                )
             }
             AttackError::OverlappingPws { at } => {
                 write!(f, "prediction windows overlap at {at}")
@@ -95,7 +98,10 @@ mod tests {
             AttackError::Snippet(IsaError::BadOpcode(0xff)),
             AttackError::ProbeFailed,
             AttackError::NotCalibrated,
-            AttackError::ChainExceedsLbr { windows: 32, max: 16 },
+            AttackError::ChainExceedsLbr {
+                windows: 32,
+                max: 16,
+            },
         ];
         for err in samples {
             assert!(!err.to_string().is_empty());

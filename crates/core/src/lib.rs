@@ -25,20 +25,25 @@
 //!   the paper sketches as future work (§8.3);
 //! * [`baselines`] — prior-attack stand-ins (instruction counting à la
 //!   CopyCat, branch-PC probing à la BranchShadowing) used to show that
-//!   the defenses which stop *them* do not stop NightVision.
+//!   the defenses which stop *them* do not stop NightVision;
+//! * [`campaign`] — the multi-threaded trial-campaign engine: fans noisy
+//!   Prime+Probe trials out across worker threads with per-trial
+//!   `nv_rand` child streams, merging results in trial-index order so
+//!   aggregates are byte-identical for any thread count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod baselines;
+pub mod campaign;
 mod error;
 pub mod fingerprint;
-pub mod seq_fingerprint;
 mod nv_core;
 mod nv_supervisor;
 mod nv_user;
 mod pw;
 mod rig;
+pub mod seq_fingerprint;
 pub mod trace;
 
 pub use error::AttackError;

@@ -228,8 +228,7 @@ impl NvSupervisor {
         // not itself. Drop those PCs rather than report wrong ones.
         if self.config.rule_out_repeats {
             for i in 0..measurements.len().saturating_sub(1) {
-                if measurements[i].pc.is_some() && measurements[i].pc == measurements[i + 1].pc
-                {
+                if measurements[i].pc.is_some() && measurements[i].pc == measurements[i + 1].pc {
                     measurements[i].pc = None;
                 }
             }
@@ -298,21 +297,27 @@ impl NvSupervisor {
         steps: &mut [StepState],
         window_offsets: &[u64],
     ) -> Result<(), AttackError> {
-        self.stepped_run(enclave, core, steps, |state| {
-            let base = VirtAddr::new(state.page * PAGE_BYTES);
-            window_offsets
-                .iter()
-                .map(|&offset| {
-                    PwSpec::new(base.offset(offset), BLOCK_BYTES).expect("32B window is valid")
-                })
-                .collect()
-        }, |state, pws, matched| {
-            for (pw, &hit) in pws.iter().zip(matched) {
-                if hit {
-                    state.matched_windows.push(pw.start().page_offset());
+        self.stepped_run(
+            enclave,
+            core,
+            steps,
+            |state| {
+                let base = VirtAddr::new(state.page * PAGE_BYTES);
+                window_offsets
+                    .iter()
+                    .map(|&offset| {
+                        PwSpec::new(base.offset(offset), BLOCK_BYTES).expect("32B window is valid")
+                    })
+                    .collect()
+            },
+            |state, pws, matched| {
+                for (pw, &hit) in pws.iter().zip(matched) {
+                    if hit {
+                        state.matched_windows.push(pw.start().page_offset());
+                    }
                 }
-            }
-        })
+            },
+        )
     }
 
     /// One enclave execution halving each step's candidate interval.
@@ -322,25 +327,31 @@ impl NvSupervisor {
         core: &mut Core,
         steps: &mut [StepState],
     ) -> Result<(), AttackError> {
-        self.stepped_run(enclave, core, steps, |state| {
-            if state.lo == u64::MAX || state.hi - state.lo <= 2 {
-                return Vec::new();
-            }
-            let mid = state.lo + (state.hi - state.lo) / 2;
-            let base = VirtAddr::new(state.page * PAGE_BYTES);
-            vec![PwSpec::from_range(base.offset(state.lo), base.offset(mid))
-                .expect("refinement interval >= 2 bytes")]
-        }, |state, _pws, matched| {
-            if state.lo == u64::MAX || state.hi - state.lo <= 2 {
-                return;
-            }
-            let mid = state.lo + (state.hi - state.lo) / 2;
-            if matched.first().copied().unwrap_or(false) {
-                state.hi = mid;
-            } else {
-                state.lo = mid;
-            }
-        })
+        self.stepped_run(
+            enclave,
+            core,
+            steps,
+            |state| {
+                if state.lo == u64::MAX || state.hi - state.lo <= 2 {
+                    return Vec::new();
+                }
+                let mid = state.lo + (state.hi - state.lo) / 2;
+                let base = VirtAddr::new(state.page * PAGE_BYTES);
+                vec![PwSpec::from_range(base.offset(state.lo), base.offset(mid))
+                    .expect("refinement interval >= 2 bytes")]
+            },
+            |state, _pws, matched| {
+                if state.lo == u64::MAX || state.hi - state.lo <= 2 {
+                    return;
+                }
+                let mid = state.lo + (state.hi - state.lo) / 2;
+                if matched.first().copied().unwrap_or(false) {
+                    state.hi = mid;
+                } else {
+                    state.lo = mid;
+                }
+            },
+        )
     }
 
     /// Final run: for each step with interval `[x, x+2)`, prime a window
@@ -352,23 +363,29 @@ impl NvSupervisor {
         core: &mut Core,
         steps: &mut [StepState],
     ) -> Result<(), AttackError> {
-        self.stepped_run(enclave, core, steps, |state| {
-            if state.lo == u64::MAX {
-                return Vec::new();
-            }
-            let base = VirtAddr::new(state.page * PAGE_BYTES);
-            let x = base.offset(state.lo);
-            vec![PwSpec::from_range(x - 1u64, x.offset(1)).expect("2-byte window")]
-        }, |state, _pws, matched| {
-            if state.lo == u64::MAX {
-                return;
-            }
-            state.resolved = Some(if matched.first().copied().unwrap_or(false) {
-                state.lo
-            } else {
-                state.lo + 1
-            });
-        })
+        self.stepped_run(
+            enclave,
+            core,
+            steps,
+            |state| {
+                if state.lo == u64::MAX {
+                    return Vec::new();
+                }
+                let base = VirtAddr::new(state.page * PAGE_BYTES);
+                let x = base.offset(state.lo);
+                vec![PwSpec::from_range(x - 1u64, x.offset(1)).expect("2-byte window")]
+            },
+            |state, _pws, matched| {
+                if state.lo == u64::MAX {
+                    return;
+                }
+                state.resolved = Some(if matched.first().copied().unwrap_or(false) {
+                    state.lo
+                } else {
+                    state.lo + 1
+                });
+            },
+        )
     }
 
     /// The shared per-run loop: reset, controlled channel, and per step:

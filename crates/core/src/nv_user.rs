@@ -9,8 +9,7 @@
 //! Monitoring both sides also detects excessive preemptions: slices where
 //! neither side ran (§5.2).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use nv_rand::Rng;
 
 use nv_os::{Pid, RunOutcome, System};
 use nv_victims::VictimProgram;
@@ -125,7 +124,7 @@ pub struct NvUser {
     rig: AttackerRig,
     then_idx: usize,
     else_idx: usize,
-    rng: StdRng,
+    rng: Rng,
     noise: NoiseModel,
 }
 
@@ -163,7 +162,7 @@ impl NvUser {
             rig,
             then_idx,
             else_idx,
-            rng: StdRng::seed_from_u64(noise.seed),
+            rng: Rng::seed_from_u64(noise.seed),
             noise,
         })
     }
@@ -287,11 +286,7 @@ impl NvUser {
         if truth.is_empty() {
             return 1.0;
         }
-        let correct = inferred
-            .iter()
-            .zip(truth)
-            .filter(|(a, b)| a == b)
-            .count();
+        let correct = inferred.iter().zip(truth).filter(|(a, b)| a == b).count();
         correct as f64 / truth.len() as f64
     }
 }
@@ -315,8 +310,7 @@ mod tests {
 
     #[test]
     fn perfect_recovery_without_noise() {
-        let victim = GcdVictim::build(0xdead_beef, 65537, &VictimConfig::paper_hardened())
-            .unwrap();
+        let victim = GcdVictim::build(0xdead_beef, 65537, &VictimConfig::paper_hardened()).unwrap();
         let (inferred, truth) = attack_victim(&victim, NoiseModel::none());
         assert_eq!(inferred, truth);
         assert_eq!(NvUser::accuracy(&inferred, &truth), 1.0);
@@ -380,8 +374,7 @@ mod tests {
             (&[0x1234u64][..], &[0x9999u64][..], false),
             (&[0x9999u64][..], &[0x1234u64][..], true),
         ] {
-            let victim =
-                BnCmpVictim::build(a, b, &VictimConfig::paper_hardened()).unwrap();
+            let victim = BnCmpVictim::build(a, b, &VictimConfig::paper_hardened()).unwrap();
             let (inferred, _) = attack_victim(&victim, NoiseModel::none());
             assert_eq!(inferred, vec![expected]);
         }
@@ -389,8 +382,7 @@ mod tests {
 
     #[test]
     fn noise_readings_are_mostly_correct() {
-        let victim = GcdVictim::build(0xabcdef1, 65537, &VictimConfig::paper_hardened())
-            .unwrap();
+        let victim = GcdVictim::build(0xabcdef1, 65537, &VictimConfig::paper_hardened()).unwrap();
         let (inferred, truth) = attack_victim(&victim, NoiseModel::paper_gcd(11));
         let accuracy = NvUser::accuracy(&inferred, &truth);
         assert!(accuracy >= 0.85, "noisy accuracy {accuracy} too low");

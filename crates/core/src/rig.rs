@@ -124,9 +124,7 @@ impl AttackerRig {
         // directly after the snippet (a `ret`, which allocates nothing).
         let narrow = pws.iter().any(|pw| pw.len() < 5);
         if narrow && pws.len() > 1 {
-            return Err(AttackError::OverlappingPws {
-                at: pws[1].start(),
-            });
+            return Err(AttackError::OverlappingPws { at: pws[1].start() });
         }
         let first_snippet = pws[0].start().offset(alias_distance);
         let mut asm = Assembler::new(first_snippet);
@@ -386,7 +384,7 @@ mod tests {
     }
 
     #[test]
-    fn two_byte_window_respects_fetch_lower_bound(){
+    fn two_byte_window_respects_fetch_lower_bound() {
         // A victim fetching *above* the signal byte must not match —
         // the range-query lower bound (Takeaway 2) is what gives NV-S its
         // byte granularity.
@@ -432,7 +430,11 @@ mod tests {
         let mut core = core();
         rig.calibrate(&mut core).unwrap();
         core.btb_mut().indirect_predictor_barrier();
-        assert_eq!(rig.probe(&mut core).unwrap(), vec![false], "entries survive");
+        assert_eq!(
+            rig.probe(&mut core).unwrap(),
+            vec![false],
+            "entries survive"
+        );
         let mut victim = victim_nops(0x40_0100, 20);
         core.reset_frontend();
         core.run(&mut victim, 100);

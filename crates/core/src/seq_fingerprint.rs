@@ -199,7 +199,10 @@ mod tests {
         assert_eq!(lcs_len(&[1, 2, 3], &[3, 2, 1]), 1);
         assert_eq!(lcs_len(&[1, 3, 5, 7], &[0, 3, 4, 7, 9]), 2);
         // Symmetry.
-        assert_eq!(lcs_len(&[1, 9, 2, 8], &[9, 8]), lcs_len(&[9, 8], &[1, 9, 2, 8]));
+        assert_eq!(
+            lcs_len(&[1, 9, 2, 8], &[9, 8]),
+            lcs_len(&[9, 8], &[1, 9, 2, 8])
+        );
     }
 
     #[test]

@@ -3,8 +3,7 @@
 use std::collections::BTreeSet;
 
 use nv_isa::{Assembler, Cond, Inst, IsaError, Program, Reg, VirtAddr};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use nv_rand::Rng;
 
 /// Configuration for corpus generation.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -178,7 +177,7 @@ impl Corpus {
 /// ```
 pub fn generate(config: &CorpusConfig) -> Corpus {
     assert!(config.min_insts >= 4 && config.max_insts >= config.min_insts);
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Rng::seed_from_u64(config.seed);
     let functions = (0..config.functions)
         .map(|id| generate_function(id, config, &mut rng))
         .collect();
@@ -189,9 +188,13 @@ pub fn generate(config: &CorpusConfig) -> Corpus {
 }
 
 /// Draws a random non-control instruction with a realistic length mix.
-fn random_plain_inst(rng: &mut StdRng) -> Inst {
-    // R13 is reserved for loop counters, R14/R15 are FP/SP.
-    let reg = |rng: &mut StdRng| Reg::from_index(rng.gen_range(0..13)).expect("index < 16");
+fn random_plain_inst(rng: &mut Rng) -> Inst {
+    // Sample only R0-R12: R13 is reserved for loop counters and R14/R15
+    // are FP/SP, so the upper three of `Reg::from_index`'s 0..16 domain
+    // are deliberately excluded.
+    let reg = |rng: &mut Rng| {
+        Reg::from_index(rng.gen_range(0..13)).expect("index < 13 is a valid register")
+    };
     match rng.gen_range(0..100u32) {
         0..=14 => Inst::Nop,
         15..=34 => Inst::MovRr(reg(rng), reg(rng)),
@@ -212,11 +215,11 @@ fn random_plain_inst(rng: &mut StdRng) -> Inst {
     }
 }
 
-fn generate_function(id: usize, config: &CorpusConfig, rng: &mut StdRng) -> CorpusFunction {
+fn generate_function(id: usize, config: &CorpusConfig, rng: &mut Rng) -> CorpusFunction {
     let count = rng.gen_range(config.min_insts..=config.max_insts);
     let mut insts: Vec<GenInst> = Vec::with_capacity(count + 4);
 
-    let plain = |rng: &mut StdRng| GenInst {
+    let plain = |rng: &mut Rng| GenInst {
         inst: random_plain_inst(rng),
         target: None,
         taken: false,

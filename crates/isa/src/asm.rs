@@ -183,7 +183,13 @@ impl Assembler {
         at
     }
 
-    fn emit_fixup(&mut self, inst: Inst, field_offset: usize, width: FixupWidth, label: &str) -> VirtAddr {
+    fn emit_fixup(
+        &mut self,
+        inst: Inst,
+        field_offset: usize,
+        width: FixupWidth,
+        label: &str,
+    ) -> VirtAddr {
         let at = self.emit(inst);
         let segment = self.segments.len() - 1;
         let seg_len = self.segments[segment].1.len();
@@ -611,10 +617,7 @@ mod tests {
         asm.ret();
         let program = asm.finish().unwrap();
         let inst = program.decode_at(VirtAddr::new(0)).unwrap();
-        assert_eq!(
-            inst.direct_target(VirtAddr::new(0)),
-            program.symbol("far")
-        );
+        assert_eq!(inst.direct_target(VirtAddr::new(0)), program.symbol("far"));
     }
 
     #[test]
@@ -686,7 +689,10 @@ mod tests {
         asm.label("data");
         let program = asm.finish().unwrap();
         let inst = program.decode_at(VirtAddr::new(0x2000)).unwrap();
-        assert_eq!(inst, Inst::MovAbs(Reg::R7, program.symbol("data").unwrap().value()));
+        assert_eq!(
+            inst,
+            Inst::MovAbs(Reg::R7, program.symbol("data").unwrap().value())
+        );
     }
 
     #[test]

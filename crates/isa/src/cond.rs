@@ -211,7 +211,10 @@ mod tests {
         for cond in Cond::all() {
             assert_eq!(Cond::from_code(cond.code()).unwrap(), cond);
         }
-        assert!(matches!(Cond::from_code(10), Err(IsaError::BadCondition(10))));
+        assert!(matches!(
+            Cond::from_code(10),
+            Err(IsaError::BadCondition(10))
+        ));
     }
 
     #[test]

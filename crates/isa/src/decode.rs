@@ -186,9 +186,11 @@ pub fn decode(bytes: &[u8]) -> Result<Inst, IsaError> {
         b if (op::SETCC_BASE..op::SETCC_BASE + 10).contains(&b) => {
             Inst::Setcc(Cond::from_code(b - op::SETCC_BASE)?, reg(bytes, 1)?)
         }
-        b if (op::CMOV_BASE..op::CMOV_BASE + 10).contains(&b) => {
-            Inst::Cmov(Cond::from_code(b - op::CMOV_BASE)?, reg(bytes, 1)?, reg(bytes, 2)?)
-        }
+        b if (op::CMOV_BASE..op::CMOV_BASE + 10).contains(&b) => Inst::Cmov(
+            Cond::from_code(b - op::CMOV_BASE)?,
+            reg(bytes, 1)?,
+            reg(bytes, 2)?,
+        ),
         other => return Err(IsaError::BadOpcode(other)),
     };
     Ok(inst)

@@ -287,7 +287,11 @@ impl Inst {
     pub const fn writes_data_memory(&self) -> bool {
         matches!(
             self,
-            Inst::Push(_) | Inst::Store(..) | Inst::Store32(..) | Inst::CallRel32(_) | Inst::CallInd(_)
+            Inst::Push(_)
+                | Inst::Store(..)
+                | Inst::Store32(..)
+                | Inst::CallRel32(_)
+                | Inst::CallInd(_)
         )
     }
 

@@ -150,12 +150,15 @@ impl Program {
 
     /// Iterates over `(name, address)` pairs in name order.
     pub fn symbols(&self) -> impl Iterator<Item = (&str, VirtAddr)> {
-        self.symbols.iter().map(|(name, addr)| (name.as_str(), *addr))
+        self.symbols
+            .iter()
+            .map(|(name, addr)| (name.as_str(), *addr))
     }
 
     /// The program's entry point, defaulting to the lowest segment base.
     pub fn entry(&self) -> Option<VirtAddr> {
-        self.entry.or_else(|| self.segments.first().map(Segment::base))
+        self.entry
+            .or_else(|| self.segments.first().map(Segment::base))
     }
 
     /// Sets the entry point explicitly.
@@ -174,8 +177,7 @@ impl Program {
         let idx = self
             .segments
             .partition_point(|segment| segment.base() <= addr);
-        idx.checked_sub(1)
-            .and_then(|i| self.segments[i].read(addr))
+        idx.checked_sub(1).and_then(|i| self.segments[i].read(addr))
     }
 
     /// Copies up to [`MAX_INST_BYTES`] code bytes starting at `addr` into a

@@ -131,8 +131,14 @@ mod tests {
 
     #[test]
     fn bad_index_is_an_error() {
-        assert!(matches!(Reg::from_index(16), Err(IsaError::BadRegister(16))));
-        assert!(matches!(Reg::from_index(255), Err(IsaError::BadRegister(255))));
+        assert!(matches!(
+            Reg::from_index(16),
+            Err(IsaError::BadRegister(16))
+        ));
+        assert!(matches!(
+            Reg::from_index(255),
+            Err(IsaError::BadRegister(255))
+        ));
     }
 
     #[test]

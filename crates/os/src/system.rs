@@ -410,10 +410,11 @@ mod tests {
         let mut system = System::new(UarchConfig::default());
         let a = system.spawn(yield_then_exit_program(0x10_0000));
         let b = system.spawn(yield_then_exit_program(0x20_0000));
-        system
-            .core_mut()
-            .btb_mut()
-            .allocate(VirtAddr::new(0x999), VirtAddr::new(0x1000), BranchKind::DirectJump);
+        system.core_mut().btb_mut().allocate(
+            VirtAddr::new(0x999),
+            VirtAddr::new(0x1000),
+            BranchKind::DirectJump,
+        );
         system.run(a, 100);
         system.run(b, 100);
         assert!(

@@ -1,0 +1,449 @@
+//! # nv-rand — zero-dependency deterministic randomness
+//!
+//! The reproduction's figures are *averages over many noisy Prime+Probe
+//! trials* (§7, Fig. 12/13), so every random draw in the workspace must be
+//! a pure function of an explicit seed — otherwise the figures stop
+//! regenerating bit-for-bit. This crate supplies that determinism without
+//! reaching for crates.io (the build must succeed fully offline):
+//!
+//! * [`Rng`] — xoshiro256\*\* (Blackman & Vigna), seeded through the
+//!   SplitMix64 expander so that small, human-chosen seeds (`0`, `1`,
+//!   `0x5eed`…) land in unrelated regions of the 256-bit state space;
+//! * **splittable streams** — [`Rng::stream`] derives the `i`-th child
+//!   generator of a master seed. Child streams are reproducible (the same
+//!   `(master, index)` pair always yields the same stream) and pairwise
+//!   independent for practical purposes, which is what lets the campaign
+//!   engine in the `nightvision` crate fan trials out across threads while
+//!   keeping the merged result byte-identical for any thread count.
+//!
+//! The API mirrors the parts of the `rand` crate the workspace used —
+//! [`Rng::gen`], [`Rng::gen_range`], [`Rng::gen_bool`], [`Rng::fill`] —
+//! so call sites migrate mechanically.
+//!
+//! ## Determinism contract
+//!
+//! For a fixed crate version, every method is a pure function of the
+//! generator state; no draw consults time, thread identity, addresses or
+//! any other ambient input. Changing the algorithm (and therefore every
+//! downstream figure) is a breaking change and must be called out loudly.
+//!
+//! # Examples
+//!
+//! ```
+//! use nv_rand::Rng;
+//!
+//! let mut rng = Rng::seed_from_u64(42);
+//! let a: u64 = rng.gen();
+//! let b = rng.gen_range(0..10u32);
+//! assert!(b < 10);
+//! assert_eq!(Rng::seed_from_u64(42).gen::<u64>(), a);
+//!
+//! // Child streams: reproducible and distinct.
+//! let mut s0 = Rng::stream(7, 0);
+//! let mut s1 = Rng::stream(7, 1);
+//! assert_ne!(s0.gen::<u64>(), s1.gen::<u64>());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The SplitMix64 finalizer: a bijective avalanche mix on `u64`.
+///
+/// Used for seed expansion and child-stream derivation; exposed because
+/// deterministic hashing of small integers is occasionally useful on its
+/// own (e.g. per-trial seeds derived from indices).
+#[must_use]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A deterministic pseudorandom generator: xoshiro256\*\* with SplitMix64
+/// seeding. Not cryptographic — this drives *simulations*, never secrets
+/// that need to resist an adversary with compute.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Expands a 64-bit seed into the full 256-bit state via SplitMix64,
+    /// per the xoshiro authors' recommendation.
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Rng {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        // SplitMix64 is bijective per step, so an all-zero expansion is
+        // unreachable; the guard documents the invariant xoshiro needs.
+        debug_assert!(s.iter().any(|&w| w != 0));
+        Rng { s }
+    }
+
+    /// Constructs a generator from raw xoshiro256\*\* state — for golden
+    /// tests against the reference implementation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is all-zero (the one fixed point of the
+    /// transition function).
+    #[must_use]
+    pub fn from_state(s: [u64; 4]) -> Rng {
+        assert!(s.iter().any(|&w| w != 0), "xoshiro state must be nonzero");
+        Rng { s }
+    }
+
+    /// The `index`-th child stream of `master_seed`.
+    ///
+    /// Derivation double-mixes the index before folding it into the master
+    /// seed, so neighboring indices (0, 1, 2, …) produce unrelated child
+    /// seeds; the child seed then goes through the usual SplitMix64 state
+    /// expansion. Reproducible: `stream(m, i)` is a pure function.
+    #[must_use]
+    pub fn stream(master_seed: u64, index: u64) -> Rng {
+        let child = splitmix64(master_seed ^ splitmix64(splitmix64(index)));
+        Rng::seed_from_u64(child)
+    }
+
+    /// Splits off an independent child generator, advancing `self`.
+    ///
+    /// Equivalent to deriving a stream keyed by the parent's current
+    /// position — use when trials are spawned from a running generator
+    /// rather than indexed off a master seed.
+    pub fn split(&mut self) -> Rng {
+        let a = self.next_u64();
+        let b = self.next_u64();
+        Rng::seed_from_u64(splitmix64(a) ^ b)
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniformly random value of a primitive type (any integer width,
+    /// `bool`, or an `f64` in `[0, 1)`).
+    pub fn gen<T: Random>(&mut self) -> T {
+        T::random(self)
+    }
+
+    /// A uniformly random value in `range` (half-open `a..b` or inclusive
+    /// `a..=b`), without modulo bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: IntoSampleBounds<T>,
+    {
+        let (low, high) = range.into_bounds();
+        T::sample_inclusive(self, low, high)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of [0, 1]");
+        // 53 uniform mantissa bits, the same construction as `gen::<f64>()`.
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+
+    /// Fills `dest` with uniformly random bytes.
+    pub fn fill(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+
+    /// Uniform `u64` in `[0, span)`, or the full domain when `span == 0`
+    /// (the encoding for 2⁶⁴). Lemire's widening-multiply rejection method.
+    fn bounded_u64(&mut self, span: u64) -> u64 {
+        if span == 0 {
+            return self.next_u64();
+        }
+        let threshold = span.wrapping_neg() % span;
+        loop {
+            let m = u128::from(self.next_u64()) * u128::from(span);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+}
+
+/// Types [`Rng::gen`] can produce. Sealed in spirit: implemented for the
+/// primitive integers, `bool`, and `f64`.
+pub trait Random {
+    /// Draws one uniformly random value.
+    fn random(rng: &mut Rng) -> Self;
+}
+
+macro_rules! impl_random_int {
+    ($($t:ty),*) => {$(
+        impl Random for $t {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_lossless)]
+            fn random(rng: &mut Rng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_random_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Random for u128 {
+    fn random(rng: &mut Rng) -> u128 {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Random for i128 {
+    fn random(rng: &mut Rng) -> i128 {
+        u128::random(rng) as i128
+    }
+}
+
+impl Random for bool {
+    fn random(rng: &mut Rng) -> bool {
+        // The xoshiro authors recommend the upper bits.
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Random for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn random(rng: &mut Rng) -> f64 {
+        ((rng.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Integer types [`Rng::gen_range`] can sample. Sampling maps the value
+/// domain order-preservingly onto `u64`, draws without bias there, and
+/// maps back — one code path for signed and unsigned of every width.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample from the inclusive range `[low, high]`.
+    fn sample_inclusive(rng: &mut Rng, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty => $via:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss,
+                    clippy::cast_possible_wrap, clippy::cast_lossless)]
+            fn sample_inclusive(rng: &mut Rng, low: $t, high: $t) -> $t {
+                assert!(low <= high, "gen_range: empty range");
+                // Order-preserving shift into unsigned space: subtracting
+                // MIN as the same-width unsigned type maps MIN..=MAX to
+                // 0..=(2^w - 1).
+                let lo = (low as $via).wrapping_sub(<$t>::MIN as $via) as u64;
+                let hi = (high as $via).wrapping_sub(<$t>::MIN as $via) as u64;
+                // hi - lo + 1 == 0 encodes the full 2^64 domain.
+                let span = hi.wrapping_sub(lo).wrapping_add(1);
+                let offset = rng.bounded_u64(span);
+                (((lo.wrapping_add(offset)) as $via).wrapping_add(<$t>::MIN as $via)) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize
+);
+
+/// Range shapes accepted by [`Rng::gen_range`].
+pub trait IntoSampleBounds<T> {
+    /// The inclusive `[low, high]` bounds of the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn into_bounds(self) -> (T, T);
+}
+
+impl<T: SampleUniform + HasPredecessor> IntoSampleBounds<T> for core::ops::Range<T> {
+    fn into_bounds(self) -> (T, T) {
+        let high = self
+            .end
+            .predecessor()
+            .unwrap_or_else(|| panic!("gen_range: empty range"));
+        (self.start, high)
+    }
+}
+
+impl<T: SampleUniform> IntoSampleBounds<T> for core::ops::RangeInclusive<T> {
+    fn into_bounds(self) -> (T, T) {
+        self.into_inner()
+    }
+}
+
+/// Helper for converting exclusive upper bounds to inclusive ones.
+pub trait HasPredecessor: Sized {
+    /// `self - 1`, or `None` at the type's minimum.
+    fn predecessor(&self) -> Option<Self>;
+}
+
+macro_rules! impl_has_predecessor {
+    ($($t:ty),*) => {$(
+        impl HasPredecessor for $t {
+            fn predecessor(&self) -> Option<$t> {
+                self.checked_sub(1)
+            }
+        }
+    )*};
+}
+impl_has_predecessor!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_xoshiro_outputs() {
+        // First output from state {1,2,3,4}: rotl(2*5, 7)*9 = 11520; the
+        // rest checked against the reference C implementation's algebra.
+        let mut rng = Rng::from_state([1, 2, 3, 4]);
+        assert_eq!(rng.next_u64(), 11520);
+        assert_eq!(rng.next_u64(), 0);
+        assert_eq!(rng.next_u64(), 1509978240);
+        assert_eq!(rng.next_u64(), 1215971899390074240);
+    }
+
+    #[test]
+    fn seeding_is_deterministic_and_seed_sensitive() {
+        let a: Vec<u64> = (0..8)
+            .map(|_| 0)
+            .scan(Rng::seed_from_u64(1), |r, _| Some(r.next_u64()))
+            .collect();
+        let b: Vec<u64> = (0..8)
+            .map(|_| 0)
+            .scan(Rng::seed_from_u64(1), |r, _| Some(r.next_u64()))
+            .collect();
+        let c: Vec<u64> = (0..8)
+            .map(|_| 0)
+            .scan(Rng::seed_from_u64(2), |r, _| Some(r.next_u64()))
+            .collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn streams_are_reproducible_and_pairwise_distinct() {
+        let take4 = |mut r: Rng| [r.next_u64(), r.next_u64(), r.next_u64(), r.next_u64()];
+        for index in 0..16 {
+            assert_eq!(
+                take4(Rng::stream(0xabc, index)),
+                take4(Rng::stream(0xabc, index))
+            );
+        }
+        let heads: Vec<_> = (0..16).map(|i| take4(Rng::stream(0xabc, i))).collect();
+        for i in 0..heads.len() {
+            for j in i + 1..heads.len() {
+                assert_ne!(heads[i], heads[j], "streams {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn split_yields_divergent_children() {
+        let mut parent = Rng::seed_from_u64(5);
+        let mut c1 = parent.split();
+        let mut c2 = parent.split();
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = Rng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(0..13u8);
+            assert!(v < 13);
+            let w = rng.gen_range(-64i8..=-8);
+            assert!((-64..=-8).contains(&w));
+            let x = rng.gen_range(-128i64..128);
+            assert!((-128..128).contains(&x));
+            let y = rng.gen_range(2u64..1_000_003);
+            assert!((2..1_000_003).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_domains_uniformly() {
+        let mut rng = Rng::seed_from_u64(9);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[rng.gen_range(0..4usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "skewed counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn gen_range_full_domain_does_not_hang() {
+        let mut rng = Rng::seed_from_u64(11);
+        let _: u64 = rng.gen_range(0..=u64::MAX);
+        let _: i64 = rng.gen_range(i64::MIN..=i64::MAX);
+        let _: u8 = rng.gen_range(0..=u8::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        Rng::seed_from_u64(0).gen_range(5..5u32);
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_rate() {
+        let mut rng = Rng::seed_from_u64(17);
+        for _ in 0..100 {
+            assert!(!rng.gen_bool(0.0));
+            assert!(rng.gen_bool(1.0));
+        }
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.007)).count();
+        assert!(
+            (400..1_100).contains(&hits),
+            "0.7% rate produced {hits}/100000"
+        );
+    }
+
+    #[test]
+    fn fill_is_deterministic_and_covers_tail() {
+        let mut a = [0u8; 13];
+        let mut b = [0u8; 13];
+        Rng::seed_from_u64(23).fill(&mut a);
+        Rng::seed_from_u64(23).fill(&mut b);
+        assert_eq!(a, b);
+        assert!(a.iter().any(|&x| x != 0));
+    }
+
+    #[test]
+    fn typed_gen_draws() {
+        let mut rng = Rng::seed_from_u64(29);
+        let _: i8 = rng.gen();
+        let _: i32 = rng.gen();
+        let _: u128 = rng.gen();
+        let f: f64 = rng.gen();
+        assert!((0.0..1.0).contains(&f));
+    }
+}

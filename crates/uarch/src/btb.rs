@@ -353,8 +353,7 @@ impl Btb {
         let mut out = Vec::new();
         for (set, ways) in self.sets.iter().enumerate() {
             for entry in ways.iter().flatten() {
-                let low =
-                    (entry.tag << (5 + set_bits)) | ((set as u64) << 5) | entry.offset as u64;
+                let low = (entry.tag << (5 + set_bits)) | ((set as u64) << 5) | entry.offset as u64;
                 out.push((low, entry.target, entry.kind));
             }
         }
@@ -419,7 +418,11 @@ mod tests {
     fn aliased_lookup_reconstructs_in_fetch_block() {
         let mut btb = btb();
         let victim_branch = VirtAddr::new(0x40_0010);
-        btb.allocate(victim_branch, VirtAddr::new(0x40_0100), BranchKind::CondBranch);
+        btb.allocate(
+            victim_branch,
+            VirtAddr::new(0x40_0100),
+            BranchKind::CondBranch,
+        );
         let attacker_block = VirtAddr::new(0x40_0000 + (1u64 << 33));
         let hit = btb.lookup(attacker_block).unwrap();
         // The predicted branch PC materializes inside the attacker's block.
@@ -429,7 +432,11 @@ mod tests {
     #[test]
     fn different_tag_does_not_hit() {
         let mut btb = btb();
-        btb.allocate(VirtAddr::new(0x40_0010), VirtAddr::new(0), BranchKind::DirectJump);
+        btb.allocate(
+            VirtAddr::new(0x40_0010),
+            VirtAddr::new(0),
+            BranchKind::DirectJump,
+        );
         // Same set (bits 5..14 equal) but different tag bit 14.
         assert!(btb.lookup(VirtAddr::new(0x40_0010 + (1 << 14))).is_none());
     }

@@ -443,9 +443,7 @@ impl Core {
                         // hit another, lower-priority entry — this is what
                         // Experiment 2 observes after jmp L2's entry dies).
                         let cause = match cause {
-                            BundleVerdict::NonTransferThere => {
-                                SquashCause::FalseHitNonTransfer
-                            }
+                            BundleVerdict::NonTransferThere => SquashCause::FalseHitNonTransfer,
                             _ => SquashCause::FalseHitMidInstruction,
                         };
                         self.btb.deallocate(hit.set, hit.way);
@@ -969,9 +967,7 @@ mod tests {
         core.speculate_ahead(&machine, 4);
         assert_eq!(machine.pc(), pc_before, "speculation is non-architectural");
         assert!(
-            core.btb_mut()
-                .lookup(VirtAddr::new(0x40_0002))
-                .is_none(),
+            core.btb_mut().lookup(VirtAddr::new(0x40_0002)).is_none(),
             "speculative nop fetch deallocated the aliased entry"
         );
         assert!(core.stats().speculated > 0);

@@ -449,11 +449,11 @@ mod tests {
         let (mut state, mut mem) = setup();
         let out = run(Inst::CallRel32(0x100), &mut state, &mut mem);
         let expected_ret = VirtAddr::new(0x1005);
+        assert_eq!(out.control.taken_target(), Some(VirtAddr::new(0x1105)));
         assert_eq!(
-            out.control.taken_target(),
-            Some(VirtAddr::new(0x1105))
+            mem.read_u64(VirtAddr::new(0x8000_0000 - 8)),
+            expected_ret.value()
         );
-        assert_eq!(mem.read_u64(VirtAddr::new(0x8000_0000 - 8)), expected_ret.value());
         // Execute ret from wherever we are.
         let out = run(Inst::Ret, &mut state, &mut mem);
         assert_eq!(out.control.taken_target(), Some(expected_ret));

@@ -150,7 +150,9 @@ impl Memory {
 
     /// Reads `len` bytes starting at `addr`.
     pub fn read_bytes(&self, addr: VirtAddr, len: usize) -> Vec<u8> {
-        (0..len).map(|i| self.read_u8(addr.offset(i as u64))).collect()
+        (0..len)
+            .map(|i| self.read_u8(addr.offset(i as u64)))
+            .collect()
     }
 
     /// Number of resident (touched) pages.

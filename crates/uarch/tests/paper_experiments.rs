@@ -185,10 +185,7 @@ fn experiment1_holds_across_generations() {
         machine.state_mut().set_pc(program.symbol("drv3").unwrap());
         core.reset_frontend();
         core.run(&mut machine, 100);
-        let record = core
-            .lbr()
-            .find_from(program.symbol("L1").unwrap())
-            .unwrap();
+        let record = core.lbr().find_from(program.symbol("L1").unwrap()).unwrap();
         assert!(
             record.mispredicted || record.elapsed > 4,
             "{generation:?}: aliased nops at the generation's cutoff \

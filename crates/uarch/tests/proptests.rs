@@ -1,35 +1,41 @@
 //! Property-based tests over the microarchitectural model.
+//!
+//! Randomized but deterministic: inputs come from fixed-seed `nv-rand`
+//! streams, so a failure reproduces exactly. Compiled only with the
+//! non-default `proptest` feature (`cargo test -p nv-uarch --features
+//! proptest`) to keep the default test pass fast.
+
+#![cfg(feature = "proptest")]
 
 use nv_isa::{Assembler, Inst, Reg, VirtAddr};
+use nv_rand::Rng;
 use nv_uarch::{BranchKind, Btb, BtbGeometry, Core, Machine, RunExit, UarchConfig};
-use proptest::prelude::*;
 
-fn arb_alu_inst() -> impl Strategy<Value = Inst> {
-    let reg = (0u8..14).prop_map(|i| Reg::from_index(i).unwrap());
-    prop_oneof![
-        Just(Inst::Nop),
-        (reg.clone(), reg.clone()).prop_map(|(a, b)| Inst::MovRr(a, b)),
-        (reg.clone(), any::<i32>()).prop_map(|(r, i)| Inst::MovRi(r, i)),
-        (reg.clone(), reg.clone()).prop_map(|(a, b)| Inst::AddRr(a, b)),
-        (reg.clone(), reg.clone()).prop_map(|(a, b)| Inst::SubRr(a, b)),
-        (reg.clone(), reg.clone()).prop_map(|(a, b)| Inst::XorRr(a, b)),
-        (reg.clone(), any::<i8>()).prop_map(|(r, i)| Inst::AddRi8(r, i)),
-        (reg.clone(), 0u8..63).prop_map(|(r, i)| Inst::ShlRi(r, i)),
-        (reg.clone(), reg).prop_map(|(a, b)| Inst::MulRr(a, b)),
-    ]
+fn arb_alu_inst(rng: &mut Rng) -> Inst {
+    let mut reg = |rng: &mut Rng| Reg::from_index(rng.gen_range(0..14)).unwrap();
+    match rng.gen_range(0..9u32) {
+        0 => Inst::Nop,
+        1 => Inst::MovRr(reg(rng), reg(rng)),
+        2 => Inst::MovRi(reg(rng), rng.gen()),
+        3 => Inst::AddRr(reg(rng), reg(rng)),
+        4 => Inst::SubRr(reg(rng), reg(rng)),
+        5 => Inst::XorRr(reg(rng), reg(rng)),
+        6 => Inst::AddRi8(reg(rng), rng.gen()),
+        7 => Inst::ShlRi(reg(rng), rng.gen_range(0..63)),
+        _ => Inst::MulRr(reg(rng), reg(rng)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Straight-line programs retire exactly their instruction count, and
-    /// two runs from the same initial state are bit-identical.
-    #[test]
-    fn straight_line_execution_is_deterministic(
-        insts in prop::collection::vec(arb_alu_inst(), 1..64),
-        base in 0x1000u64..0x7000_0000,
-    ) {
-        let base = VirtAddr::new(base & !0xfff);
+/// Straight-line programs retire exactly their instruction count, and
+/// two runs from the same initial state are bit-identical.
+#[test]
+fn straight_line_execution_is_deterministic() {
+    let mut rng = Rng::seed_from_u64(0x0a1c_0001);
+    for _ in 0..48 {
+        let insts: Vec<Inst> = (0..rng.gen_range(1..64usize))
+            .map(|_| arb_alu_inst(&mut rng))
+            .collect();
+        let base = VirtAddr::new(rng.gen_range(0x1000u64..0x7000_0000) & !0xfff);
         let build = || {
             let mut asm = Assembler::new(base);
             for inst in &insts {
@@ -42,23 +48,37 @@ proptest! {
             let mut machine = build();
             let mut core = Core::new(UarchConfig::default());
             let exit = core.run(&mut machine, 10_000);
-            (exit, core.cycle(), core.stats(),
-             Reg::all().map(|r| machine.state().reg(r)).collect::<Vec<_>>())
+            (
+                exit,
+                core.cycle(),
+                core.stats(),
+                Reg::all()
+                    .map(|r| machine.state().reg(r))
+                    .collect::<Vec<_>>(),
+            )
         };
         let first = run();
-        prop_assert_eq!(first.0.clone(), RunExit::Halted);
+        assert_eq!(first.0.clone(), RunExit::Halted);
         // Retired = instructions + halt (alu code never fuses).
-        prop_assert_eq!(first.2.retired as usize, insts.len() + 1);
-        prop_assert_eq!(first.clone(), run());
+        assert_eq!(first.2.retired as usize, insts.len() + 1);
+        assert_eq!(first.clone(), run());
     }
+}
 
-    /// The BTB's occupancy never exceeds its capacity and its lookups are
-    /// consistent with `entry_at` under arbitrary allocate/dealloc mixes.
-    #[test]
-    fn btb_invariants_under_random_traffic(
-        ops in prop::collection::vec((any::<u32>(), any::<bool>()), 1..256),
-    ) {
-        let geometry = BtbGeometry { sets: 16, ways: 2, tag_cutoff_bit: 33 };
+/// The BTB's occupancy never exceeds its capacity and its lookups are
+/// consistent with `entry_at` under arbitrary allocate/dealloc mixes.
+#[test]
+fn btb_invariants_under_random_traffic() {
+    let mut rng = Rng::seed_from_u64(0x0a1c_0002);
+    for _ in 0..48 {
+        let ops: Vec<(u32, bool)> = (0..rng.gen_range(1..256usize))
+            .map(|_| (rng.gen(), rng.gen()))
+            .collect();
+        let geometry = BtbGeometry {
+            sets: 16,
+            ways: 2,
+            tag_cutoff_bit: 33,
+        };
         let mut btb = Btb::new(geometry);
         for &(raw, dealloc) in &ops {
             let pc = VirtAddr::new(0x1000 + (raw as u64 % 0x8000));
@@ -68,43 +88,53 @@ proptest! {
                     // After deallocation the same entry is gone: an
                     // identical lookup can only hit a *different* entry.
                     if let Some(second) = btb.lookup(pc) {
-                        prop_assert!(
-                            (second.set, second.way) != (hit.set, hit.way)
-                        );
+                        assert!((second.set, second.way) != (hit.set, hit.way));
                     }
                 }
             } else {
                 btb.allocate(pc, VirtAddr::new(raw as u64), BranchKind::DirectJump);
                 // An exact-match probe at the allocated location succeeds.
-                prop_assert!(btb.entry_at(pc).is_some());
+                assert!(btb.entry_at(pc).is_some());
                 // And the range lookup from the same address hits
                 // something at or after it.
                 let hit = btb.lookup(pc);
-                prop_assert!(hit.is_some());
-                prop_assert!(hit.unwrap().branch_pc.block_offset() >= pc.block_offset());
+                assert!(hit.is_some());
+                assert!(hit.unwrap().branch_pc.block_offset() >= pc.block_offset());
             }
-            prop_assert!(btb.occupancy() <= geometry.entries());
+            assert!(btb.occupancy() <= geometry.entries());
         }
     }
+}
 
-    /// A flush really empties the BTB no matter what preceded it.
-    #[test]
-    fn flush_is_total(count in 1usize..128) {
+/// A flush really empties the BTB no matter what preceded it.
+#[test]
+fn flush_is_total() {
+    let mut rng = Rng::seed_from_u64(0x0a1c_0003);
+    for _ in 0..64 {
+        let count = rng.gen_range(1..128usize);
         let mut btb = Btb::new(BtbGeometry::default());
         for i in 0..count {
             btb.allocate(
                 VirtAddr::new(0x40_0000 + i as u64 * 13),
                 VirtAddr::new(i as u64),
-                if i % 2 == 0 { BranchKind::DirectJump } else { BranchKind::IndirectCall },
+                if i % 2 == 0 {
+                    BranchKind::DirectJump
+                } else {
+                    BranchKind::IndirectCall
+                },
             );
         }
         btb.flush();
-        prop_assert_eq!(btb.occupancy(), 0);
+        assert_eq!(btb.occupancy(), 0);
     }
+}
 
-    /// IBPB removes exactly the indirect entries.
-    #[test]
-    fn ibpb_is_exactly_partial(kinds in prop::collection::vec(any::<u8>(), 1..64)) {
+/// IBPB removes exactly the indirect entries.
+#[test]
+fn ibpb_is_exactly_partial() {
+    let mut rng = Rng::seed_from_u64(0x0a1c_0004);
+    for _ in 0..64 {
+        let kinds: Vec<u8> = (0..rng.gen_range(1..64usize)).map(|_| rng.gen()).collect();
         let mut btb = Btb::new(BtbGeometry::default());
         let mut direct = 0usize;
         for (i, &k) in kinds.iter().enumerate() {
@@ -119,26 +149,35 @@ proptest! {
                 direct += 1;
             }
             // Distinct blocks so nothing aliases or evicts.
-            btb.allocate(VirtAddr::new(0x40_0000 + i as u64 * 64), VirtAddr::new(0), kind);
+            btb.allocate(
+                VirtAddr::new(0x40_0000 + i as u64 * 64),
+                VirtAddr::new(0),
+                kind,
+            );
         }
         btb.indirect_predictor_barrier();
-        prop_assert_eq!(btb.occupancy(), direct);
+        assert_eq!(btb.occupancy(), direct);
     }
+}
 
-    /// Cycle counts are monotone in program length for nop sleds.
-    #[test]
-    fn cycles_grow_with_work(len_a in 1u64..64, extra in 1u64..64) {
-        let run_nops = |count: u64| {
-            let mut asm = Assembler::new(VirtAddr::new(0x40_0000));
-            for _ in 0..count {
-                asm.nop();
-            }
-            asm.halt();
-            let mut machine = Machine::new(asm.finish().unwrap());
-            let mut core = Core::new(UarchConfig::default());
-            core.run(&mut machine, 10_000);
-            core.cycle()
-        };
-        prop_assert!(run_nops(len_a + extra) > run_nops(len_a));
+/// Cycle counts are monotone in program length for nop sleds.
+#[test]
+fn cycles_grow_with_work() {
+    let mut rng = Rng::seed_from_u64(0x0a1c_0005);
+    let run_nops = |count: u64| {
+        let mut asm = Assembler::new(VirtAddr::new(0x40_0000));
+        for _ in 0..count {
+            asm.nop();
+        }
+        asm.halt();
+        let mut machine = Machine::new(asm.finish().unwrap());
+        let mut core = Core::new(UarchConfig::default());
+        core.run(&mut machine, 10_000);
+        core.cycle()
+    };
+    for _ in 0..32 {
+        let len_a = rng.gen_range(1..64u64);
+        let extra = rng.gen_range(1..64u64);
+        assert!(run_nops(len_a + extra) > run_nops(len_a));
     }
 }

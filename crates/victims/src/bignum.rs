@@ -80,7 +80,9 @@ pub fn gcd_trace_v2(a: u64, b: u64) -> GcdTrace {
         }
     }
     // Reconstruct the shared power of two.
-    let shift = (a | b).trailing_zeros().min(a.trailing_zeros().min(b.trailing_zeros()));
+    let shift = (a | b)
+        .trailing_zeros()
+        .min(a.trailing_zeros().min(b.trailing_zeros()));
     GcdTrace {
         gcd: u << shift,
         directions,
@@ -162,7 +164,11 @@ mod tests {
         ];
         for (a, b) in cases {
             assert_eq!(gcd_trace(a, b).gcd, reference_gcd(a, b), "gcd({a},{b})");
-            assert_eq!(gcd_trace_v2(a, b).gcd, reference_gcd(a, b), "v2 gcd({a},{b})");
+            assert_eq!(
+                gcd_trace_v2(a, b).gcd,
+                reference_gcd(a, b),
+                "v2 gcd({a},{b})"
+            );
         }
     }
 
@@ -174,7 +180,9 @@ mod tests {
         let mut count = 0usize;
         let mut x = 0x1234_5678u64;
         for _ in 0..100 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let a = (x >> 16) as u32 as u64 | 1;
             let b = (x >> 32) as u32 as u64 | 1;
             total += gcd_trace(a, b).directions.len();

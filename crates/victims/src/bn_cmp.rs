@@ -45,12 +45,11 @@ impl BnCmpVictim {
     ///
     /// Panics if the operands are empty or of different lengths (the
     /// victim's precondition).
-    pub fn build(
-        a: &[u64],
-        b: &[u64],
-        config: &VictimConfig,
-    ) -> Result<VictimProgram, IsaError> {
-        assert!(!a.is_empty() && a.len() == b.len(), "equal nonzero limb counts");
+    pub fn build(a: &[u64], b: &[u64], config: &VictimConfig) -> Result<VictimProgram, IsaError> {
+        assert!(
+            !a.is_empty() && a.len() == b.len(),
+            "equal nonzero limb counts"
+        );
         let trace = bn_cmp_trace(a, b);
         let mut asm = Assembler::new(config.base);
 
@@ -251,8 +250,7 @@ mod tests {
 
     #[test]
     fn balanced_sides_match() {
-        let victim =
-            BnCmpVictim::build(&[7], &[9], &VictimConfig::paper_hardened()).unwrap();
+        let victim = BnCmpVictim::build(&[7], &[9], &VictimConfig::paper_hardened()).unwrap();
         let (ts, te) = victim.then_range();
         let (es, ee) = victim.else_range();
         assert_eq!(te - ts, ee - es);
@@ -262,8 +260,7 @@ mod tests {
 
     #[test]
     fn equal_operands_take_no_decision() {
-        let victim =
-            BnCmpVictim::build(&[3, 3], &[3, 3], &VictimConfig::paper_hardened()).unwrap();
+        let victim = BnCmpVictim::build(&[3, 3], &[3, 3], &VictimConfig::paper_hardened()).unwrap();
         assert!(victim.directions().is_empty());
         let (result, yields) = run(&victim);
         assert_eq!(result, 0);
@@ -272,8 +269,7 @@ mod tests {
 
     #[test]
     fn data_oblivious_variant_computes_correctly() {
-        let victim =
-            BnCmpVictim::build(&[9], &[7], &VictimConfig::data_oblivious()).unwrap();
+        let victim = BnCmpVictim::build(&[9], &[7], &VictimConfig::data_oblivious()).unwrap();
         let (result, _) = run(&victim);
         assert_eq!(result, 1);
         assert_eq!(victim.then_range(), victim.else_range());

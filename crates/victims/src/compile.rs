@@ -391,7 +391,11 @@ mod tests {
 
     #[test]
     fn every_configuration_computes_gcd() {
-        for version in [LibraryVersion::V2_5, LibraryVersion::V2_16, LibraryVersion::V3_1] {
+        for version in [
+            LibraryVersion::V2_5,
+            LibraryVersion::V2_16,
+            LibraryVersion::V3_1,
+        ] {
             for opt in OptLevel::all() {
                 let options = CompileOptions {
                     version,
@@ -399,8 +403,7 @@ mod tests {
                     gcc: GccVersion::G7_5,
                 };
                 for (a, b) in [(48u64, 18u64), (65537, 600), (1 << 12, 3), (17, 17)] {
-                    let image =
-                        compile_gcd(&options, VirtAddr::new(0x40_0000), a, b).unwrap();
+                    let image = compile_gcd(&options, VirtAddr::new(0x40_0000), a, b).unwrap();
                     assert_eq!(
                         run(&image),
                         image.expected_gcd(),
@@ -514,13 +517,8 @@ mod tests {
 
     #[test]
     fn static_offsets_start_at_zero() {
-        let image = compile_gcd(
-            &CompileOptions::default(),
-            VirtAddr::new(0x40_0000),
-            48,
-            18,
-        )
-        .unwrap();
+        let image =
+            compile_gcd(&CompileOptions::default(), VirtAddr::new(0x40_0000), 48, 18).unwrap();
         let offsets = image.static_pc_offsets();
         assert_eq!(offsets[0], 0);
         assert!(offsets.windows(2).all(|w| w[0] < w[1]));

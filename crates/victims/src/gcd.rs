@@ -8,8 +8,7 @@
 //! is not, because it reads the executed *addresses* directly.
 
 use nv_isa::{Assembler, Cond, IsaError, Program, Reg, VirtAddr};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use nv_rand::Rng;
 
 use crate::bignum::gcd_trace;
 use crate::config::{BranchConstruct, VictimConfig};
@@ -122,7 +121,10 @@ pub(crate) fn emit_gcd_loop(
     asm.jcc32(Cond::Eq, &l("done"));
 
     // Strip factors of two from TA, then TB (mbedTLS structure).
-    for (reg, tz, tz_done) in [(TA, l("tz_a"), l("tz_a_done")), (TB, l("tz_b"), l("tz_b_done"))] {
+    for (reg, tz, tz_done) in [
+        (TA, l("tz_a"), l("tz_a_done")),
+        (TB, l("tz_b"), l("tz_b_done")),
+    ] {
         asm.label(tz.clone());
         asm.mov_rr(SCRATCH, reg);
         asm.and_ri8(SCRATCH, 1);
@@ -207,7 +209,7 @@ pub(crate) fn emit_gcd_loop(
     // CFR trampoline, placed at a seed-randomized address past the
     // function ("La is random" in Figure 8b).
     if let BranchConstruct::Cfr { seed } = config.branch {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let arena = config.base.offset(0x2_0000);
         let slot: u64 = rng.gen_range(0..0x1000);
         asm.org(arena.offset(slot * 16))?;
@@ -278,7 +280,9 @@ fn branch_ranges(
     prefix: &str,
 ) -> ((VirtAddr, VirtAddr), (VirtAddr, VirtAddr)) {
     if config.branch == BranchConstruct::DataOblivious {
-        let select = program.symbol(&format!("{prefix}.select")).expect("select label");
+        let select = program
+            .symbol(&format!("{prefix}.select"))
+            .expect("select label");
         let select_end = program
             .symbol(&format!("{prefix}.select_end"))
             .expect("select_end label");
@@ -324,7 +328,11 @@ mod tests {
                 victim.expected_result(),
                 "gcd({a},{b})"
             );
-            assert_eq!(yields as usize, victim.iterations(), "one yield per iteration");
+            assert_eq!(
+                yields as usize,
+                victim.iterations(),
+                "one yield per iteration"
+            );
         }
     }
 
@@ -406,8 +414,8 @@ mod tests {
 
     #[test]
     fn directions_match_execution_count() {
-        let victim = GcdVictim::build(0xdead_beef | 1, 65537, &VictimConfig::paper_hardened())
-            .unwrap();
+        let victim =
+            GcdVictim::build(0xdead_beef | 1, 65537, &VictimConfig::paper_hardened()).unwrap();
         let (yields, machine, _) = run_to_completion(&victim);
         assert_eq!(machine.state().reg(Reg::R0), victim.expected_result());
         assert_eq!(yields as usize, victim.directions().len());

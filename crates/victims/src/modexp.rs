@@ -13,8 +13,7 @@
 //! is the per-bit branch — the clean laboratory version of the leak.
 
 use nv_isa::{Assembler, Cond, IsaError, Reg};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use nv_rand::Rng;
 
 use crate::config::{BranchConstruct, VictimConfig};
 use crate::victim::VictimProgram;
@@ -28,7 +27,10 @@ use crate::victim::VictimProgram;
 /// Panics unless `0 < base < modulus`, `modulus ≥ 2` and `exp > 0`.
 pub fn modexp_trace(base: u64, exp: u64, modulus: u64) -> (u64, Vec<bool>) {
     assert!(modulus >= 2 && base > 0 && base < modulus && exp > 0);
-    assert!(modulus < 1 << 62, "headroom for the shift-and-reduce multiply");
+    assert!(
+        modulus < 1 << 62,
+        "headroom for the shift-and-reduce multiply"
+    );
     let mut result = 1u64;
     let mut b = base;
     let mut e = exp;
@@ -231,7 +233,7 @@ fn emit_modexp(asm: &mut Assembler, config: &VictimConfig) -> Result<(), IsaErro
     asm.ret();
 
     if let BranchConstruct::Cfr { seed } = config.branch {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let arena = config.base.offset(0x3_0000);
         let slot: u64 = rng.gen_range(0..0x1000);
         asm.org(arena.offset(slot * 16))?;
@@ -350,15 +352,13 @@ mod tests {
 
     #[test]
     fn directions_are_the_exponent_bits() {
-        let victim =
-            ModExpVictim::build(5, 0b1101, 9973, &VictimConfig::paper_hardened()).unwrap();
+        let victim = ModExpVictim::build(5, 0b1101, 9973, &VictimConfig::paper_hardened()).unwrap();
         assert_eq!(victim.directions(), &[true, false, true, true]);
     }
 
     #[test]
     fn balanced_sides_are_symmetric() {
-        let victim =
-            ModExpVictim::build(5, 0b1101, 9973, &VictimConfig::paper_hardened()).unwrap();
+        let victim = ModExpVictim::build(5, 0b1101, 9973, &VictimConfig::paper_hardened()).unwrap();
         let (ts, te) = victim.then_range();
         let (es, ee) = victim.else_range();
         let p = victim.program();
@@ -373,8 +373,7 @@ mod tests {
 
     #[test]
     fn unbalanced_variant_skips_the_dummy() {
-        let victim =
-            ModExpVictim::build(5, 0b1101, 9973, &VictimConfig::unhardened()).unwrap();
+        let victim = ModExpVictim::build(5, 0b1101, 9973, &VictimConfig::unhardened()).unwrap();
         let (ts, te) = victim.then_range();
         let (es, ee) = victim.else_range();
         assert!(te - ts > ee - es, "then side does real work");

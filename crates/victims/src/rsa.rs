@@ -8,8 +8,7 @@
 //! "key" per victim execution, ~30 loop iterations each) from a seed, so
 //! every experiment is reproducible.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use nv_rand::Rng;
 
 use crate::bignum::{gcd_trace, GcdTrace};
 
@@ -41,14 +40,14 @@ pub struct GcdRun {
 /// ```
 #[derive(Debug)]
 pub struct RsaKeygen {
-    rng: StdRng,
+    rng: Rng,
 }
 
 impl RsaKeygen {
     /// Creates a generator from a seed.
     pub fn new(seed: u64) -> Self {
         RsaKeygen {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
         }
     }
 

@@ -4,31 +4,48 @@
 //!
 //! Run with: `cargo run --example btb_recon`
 
-use nv_uarch::{BranchKind, Btb, BtbGeometry, CpuGeneration};
 use nv_isa::VirtAddr;
+use nv_uarch::{BranchKind, Btb, BtbGeometry, CpuGeneration};
 
 fn main() {
     println!("== Takeaway 2: range-query lookups ==\n");
     let mut btb = Btb::new(BtbGeometry::default());
     let branch = VirtAddr::new(0x40_001e);
-    btb.allocate(branch.offset(1), VirtAddr::new(0x40_0100), BranchKind::DirectJump);
+    btb.allocate(
+        branch.offset(1),
+        VirtAddr::new(0x40_0100),
+        BranchKind::DirectJump,
+    );
     println!("allocated an entry for a 2-byte jump at [0x1e, 0x1f] (end-byte indexed)");
     for offset in [0x00u64, 0x08, 0x10, 0x1f, 0x1e] {
         let pc = VirtAddr::new(0x40_0000 + offset);
         let hit = btb.lookup(pc).is_some();
-        println!("  lookup at block offset {offset:#04x}: {}", if hit { "HIT" } else { "miss" });
+        println!(
+            "  lookup at block offset {offset:#04x}: {}",
+            if hit { "HIT" } else { "miss" }
+        );
     }
     println!("  -> a lookup hits any entry at an offset >= the fetch PC's offset\n");
 
     println!("== Takeaway 1: false-hit deallocation ==\n");
     let mut btb = Btb::new(BtbGeometry::default());
     let victim_jump_end = VirtAddr::new(0x40_0011);
-    btb.allocate(victim_jump_end, VirtAddr::new(0x40_0100), BranchKind::DirectJump);
+    btb.allocate(
+        victim_jump_end,
+        VirtAddr::new(0x40_0100),
+        BranchKind::DirectJump,
+    );
     let alias = VirtAddr::new(0x40_0011 + (1 << 33));
     println!("an instruction 8 GiB away shares the entry's low 33 bits:");
-    println!("  aliases under SkyLake-class truncation: {}", victim_jump_end.aliases(alias, 33));
+    println!(
+        "  aliases under SkyLake-class truncation: {}",
+        victim_jump_end.aliases(alias, 33)
+    );
     let hit = btb.lookup(alias).expect("aliased lookup hits");
-    println!("  the aliased lookup produces a (false) hit at {}", hit.branch_pc);
+    println!(
+        "  the aliased lookup produces a (false) hit at {}",
+        hit.branch_pc
+    );
     btb.deallocate(hit.set, hit.way);
     println!("  decode sees a non-branch there -> the core deallocates the entry");
     println!("  entry gone: {}\n", btb.lookup(victim_jump_end).is_none());
@@ -47,7 +64,11 @@ fn main() {
     for f2 in 0..=0x16u64 {
         let orange = nv_bench_experiments::experiment1_elapsed(0x10, f2, 0x1c, true);
         let blue = nv_bench_experiments::experiment1_elapsed(0x10, f2, 0x1c, false);
-        let marker = if orange > blue { "  <- collision (F2 < F1+2)" } else { "" };
+        let marker = if orange > blue {
+            "  <- collision (F2 < F1+2)"
+        } else {
+            ""
+        };
         println!("  {f2:#04x}  {orange:>7}  {blue:>8}{marker}");
     }
 
@@ -56,7 +77,11 @@ fn main() {
     for f1 in 0..=0x1eu64 {
         let orange = nv_bench_experiments::experiment2_elapsed(f1, 0x08, true);
         let blue = nv_bench_experiments::experiment2_elapsed(f1, 0x08, false);
-        let marker = if orange > blue { "  <- mispredict (F1 < F2+2)" } else { "" };
+        let marker = if orange > blue {
+            "  <- mispredict (F1 < F2+2)"
+        } else {
+            ""
+        };
         println!("  {f1:#04x}  {orange:>7}  {blue:>8}{marker}");
     }
 }
@@ -145,7 +170,10 @@ mod nv_bench_experiments {
         let records: Vec<_> = core.lbr().iter().collect();
         let call_idx = records.iter().position(|r| r.from == df1).unwrap();
         let ret_idx = records.iter().position(|r| r.from == l1).unwrap();
-        records[call_idx + 1..=ret_idx].iter().map(|r| r.elapsed).sum()
+        records[call_idx + 1..=ret_idx]
+            .iter()
+            .map(|r| r.elapsed)
+            .sum()
     }
 
     fn experiment2_program(f1: u64, f2: u64) -> Program {

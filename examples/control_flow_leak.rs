@@ -53,9 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The only mitigation that holds: data-oblivious code (§8.2).
     let oblivious = GcdVictim::build(run.secret, run.public, &VictimConfig::data_oblivious())?;
     match NvUser::for_victim(&oblivious, NoiseModel::none()) {
-        Err(err) => println!(
-            "\n[data-oblivious] attack cannot even be constructed: {err}"
-        ),
+        Err(err) => println!("\n[data-oblivious] attack cannot even be constructed: {err}"),
         Ok(_) => println!("\n[data-oblivious] unexpectedly attackable!"),
     }
     Ok(())

@@ -71,7 +71,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .filter_map(|s| s.pc.map(|pc| (pc, s.data_access)))
             .collect::<Vec<_>>(),
     );
-    println!("sliced {} function invocation(s) from the trace", functions.len());
+    println!(
+        "sliced {} function invocation(s) from the trace",
+        functions.len()
+    );
     for function in &functions {
         let ranked = fingerprinter.rank(&function.offset_set());
         println!(

@@ -1,10 +1,17 @@
 //! Property-based tests over the attack stack: NV-Core's match verdict
 //! must track ground-truth overlap for randomized victims and windows.
+//!
+//! Randomized but deterministic: inputs come from fixed-seed `nv-rand`
+//! streams, so a failure reproduces exactly. Compiled only with the
+//! non-default `proptest` feature (`cargo test --features proptest`) to
+//! keep the default test pass fast.
+
+#![cfg(feature = "proptest")]
 
 use nightvision::{AttackerRig, PwSpec};
 use nv_isa::{Assembler, VirtAddr};
+use nv_rand::Rng;
 use nv_uarch::{Core, Machine, UarchConfig};
-use proptest::prelude::*;
 
 /// Builds a nop-sled victim covering `[start, start+len)`.
 fn nop_victim(start: u64, len: u64) -> Machine {
@@ -14,20 +21,19 @@ fn nop_victim(start: u64, len: u64) -> Machine {
     Machine::new(asm.finish().expect("victim assembles"))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// For straight-line (non-transfer) victims, NV-Core matches iff the
+/// victim's executed bytes reach the window's signal byte from at or
+/// below it — the paper's case-3/4 overlap semantics plus the
+/// Takeaway-2 lookup lower bound.
+#[test]
+fn nvcore_match_tracks_overlap() {
+    let mut rng = Rng::seed_from_u64(0xa77a_0001);
+    for _ in 0..64 {
+        let win_off = rng.gen_range(0u64..1000);
+        let win_len = rng.gen_range(2u64..32);
+        let vic_off = rng.gen_range(0u64..1000);
+        let vic_len = rng.gen_range(1u64..64);
 
-    /// For straight-line (non-transfer) victims, NV-Core matches iff the
-    /// victim's executed bytes reach the window's signal byte from at or
-    /// below it — the paper's case-3/4 overlap semantics plus the
-    /// Takeaway-2 lookup lower bound.
-    #[test]
-    fn nvcore_match_tracks_overlap(
-        win_off in 0u64..1000,
-        win_len in 2u64..32,
-        vic_off in 0u64..1000,
-        vic_len in 1u64..64,
-    ) {
         let base = 0x40_0000u64;
         let window = PwSpec::new(VirtAddr::new(base + win_off), win_len).unwrap();
         let victim_start = base + vic_off;
@@ -53,23 +59,24 @@ proptest! {
         let signal = window.signal_byte().value();
         let block_base = window.signal_byte().block_base().value();
         let expected = victim_start <= signal && victim_end >= block_base;
-        prop_assert_eq!(
-            matched,
-            expected,
-            "window {} victim [{:#x},{:#x})",
-            window, victim_start, victim_end
+        assert_eq!(
+            matched, expected,
+            "window {window} victim [{victim_start:#x},{victim_end:#x})"
         );
     }
+}
 
-    /// Probing is idempotent: after any victim interaction, a second
-    /// probe with no victim activity reports all-quiet (the channel
-    /// re-arms itself).
-    #[test]
-    fn probe_rearms(
-        win_off in 0u64..500,
-        vic_off in 0u64..500,
-        vic_len in 1u64..48,
-    ) {
+/// Probing is idempotent: after any victim interaction, a second
+/// probe with no victim activity reports all-quiet (the channel
+/// re-arms itself).
+#[test]
+fn probe_rearms() {
+    let mut rng = Rng::seed_from_u64(0xa77a_0002);
+    for _ in 0..64 {
+        let win_off = rng.gen_range(0u64..500);
+        let vic_off = rng.gen_range(0u64..500);
+        let vic_len = rng.gen_range(1u64..48);
+
         let base = 0x40_0000u64;
         let window = PwSpec::new(VirtAddr::new(base + win_off), 16).unwrap();
         let mut core = Core::new(UarchConfig::default());
@@ -79,21 +86,28 @@ proptest! {
         core.reset_frontend();
         core.run(&mut victim, 10_000);
         let _ = rig.probe(&mut core).unwrap();
-        prop_assert_eq!(rig.probe(&mut core).unwrap(), vec![false]);
+        assert_eq!(rig.probe(&mut core).unwrap(), vec![false]);
     }
+}
 
-    /// Window splitting (the Fig. 10 traversal step) partitions exactly.
-    #[test]
-    fn pw_split_partitions(start in 0u64..u32::MAX as u64, len in 2u64..4096, n in 1u64..8) {
+/// Window splitting (the Fig. 10 traversal step) partitions exactly.
+#[test]
+fn pw_split_partitions() {
+    let mut rng = Rng::seed_from_u64(0xa77a_0003);
+    for _ in 0..256 {
+        let start = rng.gen_range(0u64..u32::MAX as u64);
+        let len = rng.gen_range(2u64..4096);
+        let n = rng.gen_range(1u64..8);
+
         let pw = PwSpec::new(VirtAddr::new(start), len).unwrap();
         let parts = pw.split(n);
-        prop_assert_eq!(parts.first().unwrap().start(), pw.start());
-        prop_assert_eq!(parts.last().unwrap().end(), pw.end());
+        assert_eq!(parts.first().unwrap().start(), pw.start());
+        assert_eq!(parts.last().unwrap().end(), pw.end());
         for pair in parts.windows(2) {
-            prop_assert_eq!(pair[0].end(), pair[1].start());
-            prop_assert!(pair[0].len() >= 2);
+            assert_eq!(pair[0].end(), pair[1].start());
+            assert!(pair[0].len() >= 2);
         }
         let total: u64 = parts.iter().map(PwSpec::len).sum();
-        prop_assert_eq!(total, pw.len());
+        assert_eq!(total, pw.len());
     }
 }

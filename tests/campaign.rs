@@ -1,0 +1,92 @@
+//! Determinism contract of the campaign engine on a real attack workload:
+//! the merged aggregate of a noisy multi-trial GCD campaign must be
+//! byte-identical for 1, 2 and 8 worker threads, and the nv-rand child
+//! streams that drive it must be reproducible and pairwise distinct.
+
+use nightvision::campaign::Campaign;
+use nightvision::{NoiseModel, NvUser};
+use nv_os::System;
+use nv_rand::Rng;
+use nv_uarch::{BtbStats, UarchConfig};
+use nv_victims::{GcdVictim, VictimConfig};
+
+const TRIALS: usize = 6;
+const MASTER_SEED: u64 = 0x00ca_4a16;
+
+/// One merged campaign: per-trial `(secret, accuracy)` pairs in index
+/// order plus the summed attacker-side BTB counters.
+fn gcd_campaign(threads: usize) -> (Vec<(u64, f64)>, BtbStats) {
+    Campaign::new(TRIALS)
+        .master_seed(MASTER_SEED)
+        .threads(threads)
+        .run_fold(
+            (Vec::new(), BtbStats::default()),
+            |mut trial| {
+                // Both the victim's secret and the attack's noise come from
+                // trial-local state, so every trial is a pure function of
+                // (master seed, index).
+                let secret = trial.rng.gen_range(3u64..=u32::MAX as u64) | 1;
+                let victim =
+                    GcdVictim::build(secret, 65537, &VictimConfig::paper_hardened()).unwrap();
+                let mut system = System::new(UarchConfig::default());
+                let pid = system.spawn(victim.program().clone());
+                let noise = NoiseModel::paper_gcd(trial.rng.next_u64());
+                let mut attacker = NvUser::for_victim(&victim, noise).unwrap();
+                let readings = attacker.leak_directions(&mut system, pid, 100_000).unwrap();
+                let inferred = NvUser::infer_directions(&readings);
+                let accuracy = NvUser::accuracy(&inferred, victim.directions());
+                (secret, accuracy, system.core().btb().stats())
+            },
+            |(mut rows, mut total), (secret, accuracy, stats)| {
+                rows.push((secret, accuracy));
+                total.hits += stats.hits;
+                total.misses += stats.misses;
+                total.allocations += stats.allocations;
+                total.deallocations += stats.deallocations;
+                total.evictions += stats.evictions;
+                (rows, total)
+            },
+        )
+}
+
+#[test]
+fn merged_results_are_identical_across_thread_counts() {
+    let serial = gcd_campaign(1);
+    // The workload is real: the noisy attack still recovers nearly every
+    // direction bit, so a determinism bug can't hide behind trivial output.
+    assert!(serial.0.iter().all(|&(_, acc)| acc > 0.9), "{serial:?}");
+    for threads in [2, 8] {
+        assert_eq!(
+            serial,
+            gcd_campaign(threads),
+            "diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn child_streams_are_reproducible() {
+    // The engine's stream-per-trial derivation is stable: re-deriving any
+    // trial's generator from (master seed, index) replays the same values
+    // the campaign used for that trial's secret.
+    let rows = gcd_campaign(1).0;
+    for (index, &(secret, _)) in rows.iter().enumerate() {
+        let mut replay = Rng::stream(MASTER_SEED, index as u64);
+        assert_eq!(replay.gen_range(3u64..=u32::MAX as u64) | 1, secret);
+    }
+}
+
+#[test]
+fn child_streams_are_pairwise_distinct() {
+    let prefixes: Vec<Vec<u64>> = (0..64u64)
+        .map(|index| {
+            let mut rng = Rng::stream(MASTER_SEED, index);
+            (0..8).map(|_| rng.next_u64()).collect()
+        })
+        .collect();
+    for i in 0..prefixes.len() {
+        for j in i + 1..prefixes.len() {
+            assert_ne!(prefixes[i], prefixes[j], "streams {i} and {j} collide");
+        }
+    }
+}

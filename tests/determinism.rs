@@ -23,20 +23,18 @@ fn simulator_runs_are_bit_identical() {
         let mut machine = Machine::new(image.program().clone());
         let mut core = Core::new(UarchConfig::default());
         core.run(&mut machine, 1_000_000);
-        (core.cycle(), core.stats(), machine.state().reg(nv_isa::Reg::R0))
+        (
+            core.cycle(),
+            core.stats(),
+            machine.state().reg(nv_isa::Reg::R0),
+        )
     };
     assert_eq!(run(), run());
 }
 
 #[test]
 fn nv_s_extractions_are_identical() {
-    let image = compile_gcd(
-        &CompileOptions::default(),
-        VirtAddr::new(0x40_0000),
-        48,
-        18,
-    )
-    .unwrap();
+    let image = compile_gcd(&CompileOptions::default(), VirtAddr::new(0x40_0000), 48, 18).unwrap();
     let extract = || {
         let mut enclave = Enclave::new(image.program().clone());
         let mut core = Core::new(UarchConfig::default());
@@ -51,15 +49,12 @@ fn nv_s_extractions_are_identical() {
 #[test]
 fn noisy_nv_u_is_seed_deterministic() {
     let run = RsaKeygen::new(1).next_run();
-    let victim =
-        GcdVictim::build(run.secret, run.public, &VictimConfig::paper_hardened()).unwrap();
+    let victim = GcdVictim::build(run.secret, run.public, &VictimConfig::paper_hardened()).unwrap();
     let attack = |seed: u64| {
         let mut system = System::new(UarchConfig::default());
         let pid = system.spawn(victim.program().clone());
         let mut attacker = NvUser::for_victim(&victim, NoiseModel::paper_gcd(seed)).unwrap();
-        let readings = attacker
-            .leak_directions(&mut system, pid, 100_000)
-            .unwrap();
+        let readings = attacker.leak_directions(&mut system, pid, 100_000).unwrap();
         NvUser::infer_directions(&readings)
     };
     assert_eq!(attack(7), attack(7));

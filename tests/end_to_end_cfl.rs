@@ -116,15 +116,12 @@ fn noisy_gcd_accuracy_is_about_99_percent() {
     let mut correct = 0usize;
     for run_idx in 0..60 {
         let run = keygen.next_run();
-        let victim = GcdVictim::build(run.secret, run.public, &VictimConfig::paper_hardened())
-            .unwrap();
+        let victim =
+            GcdVictim::build(run.secret, run.public, &VictimConfig::paper_hardened()).unwrap();
         let mut system = System::new(UarchConfig::default());
         let pid = system.spawn(victim.program().clone());
-        let mut attacker =
-            NvUser::for_victim(&victim, NoiseModel::paper_gcd(run_idx)).unwrap();
-        let readings = attacker
-            .leak_directions(&mut system, pid, 100_000)
-            .unwrap();
+        let mut attacker = NvUser::for_victim(&victim, NoiseModel::paper_gcd(run_idx)).unwrap();
+        let readings = attacker.leak_directions(&mut system, pid, 100_000).unwrap();
         let inferred = NvUser::infer_directions(&readings);
         total += victim.directions().len();
         correct += inferred
@@ -152,15 +149,12 @@ fn btb_hardening_mitigations_block_the_attack() {
     // reads the same pattern, so the inferred sequence is a constant
     // guess, not the secret.
     use nv_os::BtbMitigation;
-    let victim =
-        GcdVictim::build(0xbeef_1235, 65537, &VictimConfig::paper_hardened()).unwrap();
+    let victim = GcdVictim::build(0xbeef_1235, 65537, &VictimConfig::paper_hardened()).unwrap();
     for mitigation in [BtbMitigation::FlushOnSwitch, BtbMitigation::DomainIsolation] {
         let mut system = System::with_mitigation(UarchConfig::default(), mitigation);
         let pid = system.spawn(victim.program().clone());
         let mut attacker = NvUser::for_victim(&victim, NoiseModel::none()).unwrap();
-        let readings = attacker
-            .leak_directions(&mut system, pid, 100_000)
-            .unwrap();
+        let readings = attacker.leak_directions(&mut system, pid, 100_000).unwrap();
         let inferred = NvUser::infer_directions(&readings);
         assert_ne!(
             inferred,
@@ -183,8 +177,7 @@ fn modexp_private_exponent_leaks_bit_for_bit() {
     use nv_victims::ModExpVictim;
     for exponent in [0b1u64, 0b1011_0111, 0xbeef, (1 << 15) | 1] {
         let victim =
-            ModExpVictim::build(7, exponent, 1_000_003, &VictimConfig::paper_hardened())
-                .unwrap();
+            ModExpVictim::build(7, exponent, 1_000_003, &VictimConfig::paper_hardened()).unwrap();
         let inferred = leak(&victim, UarchConfig::default());
         let leaked: u64 = inferred
             .iter()
@@ -198,16 +191,14 @@ fn modexp_private_exponent_leaks_bit_for_bit() {
 #[test]
 fn modexp_under_cfr_still_leaks() {
     use nv_victims::ModExpVictim;
-    let victim =
-        ModExpVictim::build(5, 0b1100_1010_1, 9973, &VictimConfig::with_cfr(17)).unwrap();
+    let victim = ModExpVictim::build(5, 0b1100_1010_1, 9973, &VictimConfig::with_cfr(17)).unwrap();
     assert_eq!(leak(&victim, UarchConfig::default()), victim.directions());
 }
 
 #[test]
 fn modexp_data_oblivious_is_safe() {
     use nv_victims::ModExpVictim;
-    let victim =
-        ModExpVictim::build(5, 0b1011, 9973, &VictimConfig::data_oblivious()).unwrap();
+    let victim = ModExpVictim::build(5, 0b1011, 9973, &VictimConfig::data_oblivious()).unwrap();
     assert!(NvUser::for_victim(&victim, NoiseModel::none()).is_err());
 }
 
@@ -219,18 +210,17 @@ fn excess_preemptions_are_detected_and_discarded() {
     // scheduling noise as the *only* noise, detection is exact and the
     // recovery stays perfect.
     let run = RsaKeygen::new(77).next_run();
-    let victim =
-        GcdVictim::build(run.secret, run.public, &VictimConfig::paper_hardened()).unwrap();
+    let victim = GcdVictim::build(run.secret, run.public, &VictimConfig::paper_hardened()).unwrap();
     let mut system = System::new(UarchConfig::default());
     let pid = system.spawn(victim.program().clone());
+    // Seed chosen so the 5% preemption noise actually fires within this
+    // victim's ~35 slices (not every seed does at that rate).
     let noise = NoiseModel {
         flip_prob: 0.0,
-        ..NoiseModel::preemptive(5)
+        ..NoiseModel::preemptive(6)
     };
     let mut attacker = NvUser::for_victim(&victim, noise).unwrap();
-    let readings = attacker
-        .leak_directions(&mut system, pid, 100_000)
-        .unwrap();
+    let readings = attacker.leak_directions(&mut system, pid, 100_000).unwrap();
     // More slices than iterations (the excess preemptions) ...
     assert!(readings.len() > victim.directions().len());
     let discarded = readings.iter().filter(|r| r.inferred.is_none()).count();
@@ -240,10 +230,7 @@ fn excess_preemptions_are_detected_and_discarded() {
         "every excess slice detected, every real one kept"
     );
     // ... and the secret is still recovered exactly.
-    assert_eq!(
-        NvUser::infer_directions(&readings),
-        victim.directions()
-    );
+    assert_eq!(NvUser::infer_directions(&readings), victim.directions());
 }
 
 #[test]
@@ -256,15 +243,12 @@ fn unsynchronized_mode_with_misreads_degrades_by_misalignment() {
     let mut accuracies = Vec::new();
     for seed in 0..15u64 {
         let run = keygen.next_run();
-        let victim = GcdVictim::build(run.secret, run.public, &VictimConfig::paper_hardened())
-            .unwrap();
+        let victim =
+            GcdVictim::build(run.secret, run.public, &VictimConfig::paper_hardened()).unwrap();
         let mut system = System::new(UarchConfig::default());
         let pid = system.spawn(victim.program().clone());
-        let mut attacker =
-            NvUser::for_victim(&victim, NoiseModel::preemptive(seed)).unwrap();
-        let readings = attacker
-            .leak_directions(&mut system, pid, 100_000)
-            .unwrap();
+        let mut attacker = NvUser::for_victim(&victim, NoiseModel::preemptive(seed)).unwrap();
+        let readings = attacker.leak_directions(&mut system, pid, 100_000).unwrap();
         let inferred = NvUser::infer_directions(&readings);
         accuracies.push(NvUser::accuracy(&inferred, victim.directions()));
     }

@@ -10,9 +10,7 @@ use nv_corpus::{generate, CorpusConfig};
 use nv_isa::VirtAddr;
 use nv_os::Enclave;
 use nv_uarch::{Core, UarchConfig};
-use nv_victims::compile::{
-    compile_gcd, CompileOptions, GccVersion, LibraryVersion, OptLevel,
-};
+use nv_victims::compile::{compile_gcd, CompileOptions, GccVersion, LibraryVersion, OptLevel};
 
 fn extract_main_function(program: &nv_isa::Program) -> BTreeSet<u64> {
     let mut enclave = Enclave::new(program.clone());
@@ -161,7 +159,10 @@ fn gcc_version_does_not_move_the_fingerprint() {
             similarity(&set, &reference)
         })
         .collect();
-    assert!(sims.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-9), "{sims:?}");
+    assert!(
+        sims.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-9),
+        "{sims:?}"
+    );
 }
 
 #[test]
@@ -229,9 +230,7 @@ fn nv_s_follows_code_across_pages() {
     assert!(pages.contains(&0x400) && pages.contains(&0x401));
     // The far function's instructions are located at byte granularity in
     // the second page (odd offset 0x123 exercises the final-byte pass).
-    assert!(extracted
-        .pcs()
-        .contains(&VirtAddr::new(0x40_1000 + 0x123)));
+    assert!(extracted.pcs().contains(&VirtAddr::new(0x40_1000 + 0x123)));
     assert!(extracted.accuracy_against(&truth) >= 0.6);
     // Two invocations of `far` slice into two function traces.
     let functions = trace::slice_extracted(&extracted);
