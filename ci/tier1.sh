@@ -10,3 +10,4 @@ cd "$(dirname "$0")/.."
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo fmt --check
+cargo clippy --offline --workspace --all-targets -- -D warnings

@@ -1,0 +1,108 @@
+//! Decode-path microbenchmarks: the pre-decoded front end against the
+//! uncached byte decoder, plus NV-S single-step throughput.
+//!
+//! Besides the usual report lines, this bench persists a machine-readable
+//! baseline to `BENCH_decode.json` at the workspace root (override with
+//! the `BENCH_DECODE_OUT` environment variable), so the perf trajectory of
+//! the simulator's hottest path is tracked across PRs. The cached fetch
+//! loop is expected to beat the uncached one by at least 2×.
+
+use std::path::PathBuf;
+
+use nv_bench::microbench::{measure, BenchResult};
+use nv_isa::VirtAddr;
+use nv_os::{Enclave, StepExit};
+use nv_uarch::{Core, DecodedImage, Machine, RunExit, UarchConfig};
+use nv_victims::compile::{compile_gcd, CompileOptions};
+
+fn json_entry(name: &str, result: BenchResult) -> String {
+    format!(
+        "    {{\"name\": \"{name}\", \"ns_per_iter\": {:.2}, \"iters\": {}}}",
+        result.ns_per_iter, result.iters
+    )
+}
+
+fn main() {
+    let image = compile_gcd(
+        &CompileOptions::default(),
+        VirtAddr::new(0x40_0000),
+        0xbeef_1235,
+        65537,
+    )
+    .expect("gcd compiles");
+    let program = image.program().clone();
+
+    // Every in-image byte address, the front end's query distribution when
+    // false hits steer fetch to misaligned bytes.
+    let addrs: Vec<VirtAddr> = program
+        .segments()
+        .iter()
+        .flat_map(|segment| (0..segment.len() as u64).map(move |off| segment.base().offset(off)))
+        .collect();
+
+    let uncached = measure("decode", "fetch_loop_uncached", || {
+        let mut live = 0usize;
+        for &addr in &addrs {
+            live += usize::from(program.decode_at(addr).is_ok());
+        }
+        live
+    });
+    let decoded = DecodedImage::new(program.clone());
+    let cached = measure("decode", "fetch_loop_cached", || {
+        let mut live = 0usize;
+        for &addr in &addrs {
+            live += usize::from(decoded.decode_at(addr).is_ok());
+        }
+        live
+    });
+    let speedup = uncached.ns_per_iter / cached.ns_per_iter;
+    println!("decode/cached_speedup                    {speedup:.1}x");
+
+    let predecode = measure("decode", "image_predecode_build", || {
+        DecodedImage::new(program.clone())
+    });
+
+    let run_sim = measure("decode", "run_gcd_to_completion", || {
+        let mut machine = Machine::new(program.clone());
+        let mut core = Core::new(UarchConfig::default());
+        assert_eq!(core.run(&mut machine, 1_000_000), RunExit::Syscall(0));
+    });
+
+    // NV-S front end: single-step an enclave to completion, with the
+    // speculative overshoot after every step — the attack's hot loop.
+    let single_step = measure("decode", "nvs_single_step_run", || {
+        let mut enclave = Enclave::new(program.clone());
+        let mut core = Core::new(UarchConfig::default());
+        while let StepExit::Retired = enclave.single_step(&mut core).exit {}
+        assert!(enclave.retired_units() > 0);
+    });
+
+    let out = std::env::var("BENCH_DECODE_OUT").map_or_else(
+        |_| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("BENCH_decode.json")
+        },
+        PathBuf::from,
+    );
+    let entries = [
+        json_entry("fetch_loop_uncached", uncached),
+        json_entry("fetch_loop_cached", cached),
+        json_entry("image_predecode_build", predecode),
+        json_entry("run_gcd_to_completion", run_sim),
+        json_entry("nvs_single_step_run", single_step),
+    ];
+    let json = format!(
+        "{{\n  \"bench\": \"decode\",\n  \"image_bytes\": {},\n  \"results\": [\n{}\n  ],\n  \"cached_vs_uncached_speedup\": {:.2}\n}}\n",
+        addrs.len(),
+        entries.join(",\n"),
+        speedup
+    );
+    std::fs::write(&out, json).expect("write BENCH_decode.json");
+    println!("baseline written to {}", out.display());
+
+    assert!(
+        speedup >= 2.0,
+        "pre-decoded fetch loop must be >= 2x the uncached decoder, got {speedup:.2}x"
+    );
+}

@@ -58,8 +58,5 @@ fn main() {
         .map(|i| nightvision::PwSpec::new(VirtAddr::new(0x40_0000 + i * 32), 32).expect("window"))
         .collect();
     let rejected = nightvision::AttackerRig::new(too_many);
-    println!(
-        "17-window rig: {}",
-        rejected.err().expect("must be rejected")
-    );
+    println!("17-window rig: {}", rejected.expect_err("must be rejected"));
 }

@@ -13,8 +13,35 @@ use std::time::{Duration, Instant};
 /// overhead, short enough that a full bench run stays interactive.
 const TARGET: Duration = Duration::from_millis(200);
 
+/// Minimum total time spent calibrating. Calibration takes the *minimum*
+/// per-iteration estimate over several timed batches inside this window,
+/// so a single scheduler preemption cannot inflate the estimate and
+/// collapse the measured iteration count toward 1.
+const CALIBRATION_WINDOW: Duration = Duration::from_millis(5);
+
 /// Upper bound on calibrated iterations (guards against ~ns bodies).
 const MAX_ITERS: u64 = 50_000_000;
+
+/// One finished measurement: what the report line prints, in machine-
+/// readable form (the `BENCH_*.json` baselines are built from these).
+#[derive(Clone, Copy, Debug)]
+pub struct BenchResult {
+    /// Mean wall-clock nanoseconds per iteration over the measured window.
+    pub ns_per_iter: f64,
+    /// Iterations the measured window ran.
+    pub iters: u64,
+}
+
+impl BenchResult {
+    /// Iterations per second implied by the measurement.
+    pub fn iters_per_sec(&self) -> f64 {
+        if self.ns_per_iter > 0.0 {
+            1e9 / self.ns_per_iter
+        } else {
+            f64::INFINITY
+        }
+    }
+}
 
 /// Times `f` and prints one report line under `group/name`.
 ///
@@ -34,14 +61,40 @@ pub fn bench_with_elements<T>(group: &str, name: &str, elements: u64, mut f: imp
     });
 }
 
-fn bench_inner(group: &str, name: &str, elements: Option<u64>, f: &mut dyn FnMut()) {
-    // Warm-up and calibration: time a single iteration, derive the count
-    // that fills the target window.
+/// Times `f` like [`bench`] and returns the measurement instead of only
+/// printing it — for benches that persist machine-readable baselines.
+pub fn measure<T>(group: &str, name: &str, mut f: impl FnMut() -> T) -> BenchResult {
+    bench_inner(group, name, None, &mut || {
+        black_box(f());
+    })
+}
+
+fn bench_inner(group: &str, name: &str, elements: Option<u64>, f: &mut dyn FnMut()) -> BenchResult {
+    // Warm-up.
     f();
-    let probe_start = Instant::now();
-    f();
-    let probe = probe_start.elapsed().max(Duration::from_nanos(1));
-    let iters = (TARGET.as_nanos() / probe.as_nanos()).clamp(1, MAX_ITERS as u128) as u64;
+    // Calibration: time geometrically growing batches until the calibration
+    // window has elapsed, and keep the *minimum* per-iteration estimate.
+    // A single timed call is fragile — one preemption during the probe
+    // inflates it and collapses the derived count toward 1 iteration,
+    // yielding garbage ns/iter; the minimum over a ≥5 ms spread of batches
+    // is robust to occasional descheduling.
+    let calibration_start = Instant::now();
+    let mut batch: u64 = 1;
+    let mut min_ns_per_iter = f64::INFINITY;
+    loop {
+        let batch_start = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        let batch_ns = batch_start.elapsed().as_nanos() as f64;
+        min_ns_per_iter = min_ns_per_iter.min(batch_ns / batch as f64);
+        if calibration_start.elapsed() >= CALIBRATION_WINDOW || batch >= MAX_ITERS {
+            break;
+        }
+        batch = (batch * 2).min(MAX_ITERS);
+    }
+    let estimate = min_ns_per_iter.max(1.0);
+    let iters = ((TARGET.as_nanos() as f64 / estimate) as u64).clamp(1, MAX_ITERS);
 
     let start = Instant::now();
     for _ in 0..iters {
@@ -65,4 +118,8 @@ fn bench_inner(group: &str, name: &str, elements: Option<u64>, f: &mut dyn FnMut
         _ => String::new(),
     };
     println!("{group}/{name:<28} {time:>16}  ({iters} iters){throughput}");
+    BenchResult {
+        ns_per_iter: per_iter,
+        iters,
+    }
 }

@@ -34,7 +34,6 @@
 //! ```
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 use nv_rand::Rng;
 
@@ -116,26 +115,40 @@ impl Campaign {
         }
 
         let next = AtomicUsize::new(0);
-        let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..self.trials).map(|_| None).collect());
         let workers = self.threads.min(self.trials);
+        // Each worker accumulates `(index, result)` pairs privately — no
+        // shared lock on the result path — and the pairs are merged into
+        // index order after the joins.
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let index = next.fetch_add(1, Ordering::Relaxed);
-                    if index >= self.trials {
-                        break;
-                    }
-                    let result = trial_fn(make_trial(index));
-                    slots.lock().expect("campaign worker panicked")[index] = Some(result);
-                });
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut completed = Vec::new();
+                        loop {
+                            let index = next.fetch_add(1, Ordering::Relaxed);
+                            if index >= self.trials {
+                                break;
+                            }
+                            completed.push((index, trial_fn(make_trial(index))));
+                        }
+                        completed
+                    })
+                })
+                .collect();
+            let mut slots: Vec<Option<T>> = (0..self.trials).map(|_| None).collect();
+            for handle in handles {
+                let completed = handle
+                    .join()
+                    .expect("campaign worker panicked while running a trial");
+                for (index, result) in completed {
+                    slots[index] = Some(result);
+                }
             }
-        });
-        slots
-            .into_inner()
-            .expect("campaign worker panicked")
-            .into_iter()
-            .map(|slot| slot.expect("every trial index was claimed"))
-            .collect()
+            slots
+                .into_iter()
+                .map(|slot| slot.expect("every trial index was claimed"))
+                .collect()
+        })
     }
 
     /// Runs the campaign and folds the per-trial results in trial-index

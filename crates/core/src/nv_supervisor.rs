@@ -404,9 +404,11 @@ impl NvSupervisor {
         for &page in &pages {
             enclave.page_table_mut().set_executable(page, false);
         }
-        let mut index = 0usize;
         let mut rig_cache: Option<(Vec<PwSpec>, AttackerRig)> = None;
-        for _ in 0..self.config.max_steps {
+        // Page faults are absorbed inside the step loop below, so each outer
+        // iteration retires exactly one instruction and `index` can double as
+        // the step budget counter.
+        for index in 0..self.config.max_steps {
             if index >= steps.len() {
                 return Ok(());
             }
@@ -455,7 +457,6 @@ impl NvSupervisor {
                     record(state, &pws, &matched);
                 }
             }
-            index += 1;
             if matches!(step.exit, StepExit::Finished) {
                 return Ok(());
             }
@@ -560,8 +561,8 @@ mod tests {
             asm.halt();
         });
         let flags: Vec<bool> = trace.steps().iter().map(|s| s.data_access).collect();
-        assert_eq!(flags[0], false, "mov");
-        assert_eq!(flags[1], true, "store");
+        assert!(!flags[0], "mov");
+        assert!(flags[1], "store");
     }
 
     #[test]
@@ -598,7 +599,7 @@ mod tests {
         // §6.3 speculation ambiguity can substitute a speculated branch
         // target's PC (the paper's mismeasurement class) but never
         // fabricates mid-instruction addresses here.
-        let mut valid = vec![
+        let mut valid = [
             VirtAddr::new(0x40_0000),
             VirtAddr::new(0x40_0007),
             VirtAddr::new(0x40_000b),

@@ -415,7 +415,7 @@ mod tests {
     fn built_program_executes_the_predicted_trace() {
         // The list-level walker and real simulation must agree — this is
         // what justifies using walker traces for the big corpus.
-        use nv_uarch::{Core, Machine, RunExit, UarchConfig};
+        use nv_uarch::{Core, Machine, UarchConfig};
         let corpus = small_corpus();
         for f in corpus.functions().iter().take(10) {
             let base = VirtAddr::new(0x40_0000);

@@ -85,7 +85,7 @@ impl VirtAddr {
     ///
     /// Panics if `bits` is 0 or greater than 64.
     pub fn truncate(self, bits: u32) -> u64 {
-        assert!(bits >= 1 && bits <= 64, "truncation width out of range");
+        assert!((1..=64).contains(&bits), "truncation width out of range");
         if bits == 64 {
             self.0
         } else {
@@ -257,7 +257,7 @@ mod tests {
     fn bit_fields() {
         let a = VirtAddr::new(0b1011_0110_0101);
         assert_eq!(a.bits(0, 5), 0b0_0101);
-        assert_eq!(a.bits(5, 12), 0b1011_011);
+        assert_eq!(a.bits(5, 12), 0b101_1011);
         assert_eq!(VirtAddr::new(u64::MAX).bits(0, 64), u64::MAX);
     }
 

@@ -184,12 +184,33 @@ impl Program {
     /// fixed buffer, returning the buffer and the number of valid bytes.
     pub fn read_window(&self, addr: VirtAddr) -> ([u8; MAX_INST_BYTES], usize) {
         let mut buf = [0u8; MAX_INST_BYTES];
+        // Fast path: the whole window lies inside one segment, so a single
+        // segment lookup and one memcpy replace up to MAX_INST_BYTES
+        // per-byte binary searches.
+        let idx = self
+            .segments
+            .partition_point(|segment| segment.base() <= addr);
         let mut count = 0;
-        for (i, slot) in buf.iter_mut().enumerate() {
-            match self.read_byte(addr.offset(i as u64)) {
+        if let Some(i) = idx.checked_sub(1) {
+            let segment = &self.segments[i];
+            if addr < segment.end() {
+                let off = (addr - segment.base()) as usize;
+                let avail = (segment.len() - off).min(MAX_INST_BYTES);
+                buf[..avail].copy_from_slice(&segment.bytes()[off..off + avail]);
+                count = avail;
+                if count == MAX_INST_BYTES {
+                    return (buf, count);
+                }
+            }
+        }
+        // Slow path: the window starts outside any segment or runs off the
+        // end of one; continue byte-wise so windows straddling into an
+        // adjacent (touching) segment read exactly as before.
+        while count < MAX_INST_BYTES {
+            match self.read_byte(addr.offset(count as u64)) {
                 Some(byte) => {
-                    *slot = byte;
-                    count = i + 1;
+                    buf[count] = byte;
+                    count += 1;
                 }
                 None => break,
             }

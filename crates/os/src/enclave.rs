@@ -75,7 +75,6 @@ pub struct EnclaveStep {
 /// ```
 #[derive(Clone, Debug)]
 pub struct Enclave {
-    program: Program,
     machine: Machine,
     page_table: PageTable,
     code_pages: Vec<u64>,
@@ -97,9 +96,8 @@ impl Enclave {
             .collect();
         code_pages.sort_unstable();
         code_pages.dedup();
-        let machine = Machine::new(program.clone());
+        let machine = Machine::new(program);
         Enclave {
-            program,
             machine,
             page_table: PageTable::new(),
             code_pages,
@@ -137,9 +135,11 @@ impl Enclave {
 
     /// Restarts the enclave from scratch (fresh machine state). NV-S relies
     /// on deterministic re-execution across passes (§6.3: "the first pass
-    /// takes 128/N enclave executions").
+    /// takes 128/N enclave executions"); the machine's pre-decoded image is
+    /// shared across resets, so each pass pays only for architectural
+    /// state, not for re-decoding the code.
     pub fn reset(&mut self) {
-        self.machine = Machine::new(self.program.clone());
+        self.machine.reset();
         self.finished = false;
         self.retired_units = 0;
     }

@@ -473,14 +473,11 @@ mod tests {
             tag_cutoff_bit: 33,
         };
         let mut btb = Btb::new(geometry);
-        // Three branches in the same set (set bit = pc bit 5), same offset
-        // range, different tags.
+        // Three branches in the same set, different tags. With sets = 2 the
+        // set index is pc bit 5 alone, so adding multiples of 1 << 6 keeps
+        // bit 5 (and the 5-bit block offset 0x10) unchanged while varying
+        // the tag bits above.
         let a = VirtAddr::new(0x00_0010);
-        let b = VirtAddr::new(0x00_0050 + 0x00); // set differs; adjust below
-        let _ = b;
-        let b = VirtAddr::new(0x00_0010 + (1 << 6)); // same set bit? sets=2 -> set = bit 5
-        let _ = b;
-        // With sets = 2 the set index is pc bit 5. Keep bit 5 = 0:
         let b = VirtAddr::new(0x00_0010 + (1 << 6));
         let c = VirtAddr::new(0x00_0010 + (2 << 6));
         btb.allocate(a, VirtAddr::new(1), BranchKind::DirectJump);

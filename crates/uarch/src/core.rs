@@ -10,11 +10,13 @@
 //! squashes.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use nv_isa::{Inst, InstKind, IsaError, Program, VirtAddr};
 
 use crate::btb::{BranchKind, Btb, BtbHit};
 use crate::config::UarchConfig;
+use crate::decoded::DecodedImage;
 use crate::events::{EventLog, FrontEndEvent, SquashCause};
 use crate::exec::{execute, ArchState, ControlOutcome, ExecOutcome, MemAccess};
 use crate::lbr::Lbr;
@@ -22,9 +24,14 @@ use crate::mem::{Bus, Memory, SpecOverlay};
 
 /// A program plus its architectural state and data memory: everything that
 /// belongs to a software context (the OS crate wraps this in a process).
+///
+/// The program is held as a shared [`DecodedImage`]: the pre-decode tables
+/// are built once at construction and shared (cheaply, via `Arc`) across
+/// clones and resets — e.g. the enclave re-executions of NV-S and the
+/// per-trial machines of a campaign.
 #[derive(Clone, Debug)]
 pub struct Machine {
-    program: Program,
+    image: Arc<DecodedImage>,
     state: ArchState,
     memory: Memory,
 }
@@ -34,21 +41,49 @@ impl Machine {
     pub const STACK_TOP: u64 = 0x7f00_0000_0000;
 
     /// Creates a machine with the PC at the program entry and an empty
-    /// stack at [`Machine::STACK_TOP`].
+    /// stack at [`Machine::STACK_TOP`]. Pre-decodes the whole image.
     pub fn new(program: Program) -> Self {
-        let entry = program.entry().unwrap_or(VirtAddr::new(0));
+        Machine::from_image(Arc::new(DecodedImage::new(program)))
+    }
+
+    /// Creates a machine around an already pre-decoded image, sharing its
+    /// tables instead of rebuilding them.
+    pub fn from_image(image: Arc<DecodedImage>) -> Self {
+        let entry = image.program().entry().unwrap_or(VirtAddr::new(0));
         let mut state = ArchState::new(entry);
         state.set_reg(nv_isa::Reg::SP, Self::STACK_TOP);
         Machine {
-            program,
+            image,
             state,
             memory: Memory::new(),
         }
     }
 
+    /// Rewinds to the freshly-constructed state (PC at entry, empty stack
+    /// and memory) without re-decoding the image. Deterministic
+    /// re-execution — NV-S resets its enclave once per extraction pass —
+    /// pays only for the architectural state, never for decode.
+    pub fn reset(&mut self) {
+        let entry = self.image.program().entry().unwrap_or(VirtAddr::new(0));
+        self.state = ArchState::new(entry);
+        self.state.set_reg(nv_isa::Reg::SP, Self::STACK_TOP);
+        self.memory = Memory::new();
+    }
+
     /// The program image.
     pub fn program(&self) -> &Program {
-        &self.program
+        self.image.program()
+    }
+
+    /// The pre-decoded image.
+    pub fn image(&self) -> &DecodedImage {
+        &self.image
+    }
+
+    /// A shareable handle to the pre-decoded image (for building sibling
+    /// machines of the same program without re-decoding).
+    pub fn shared_image(&self) -> Arc<DecodedImage> {
+        Arc::clone(&self.image)
     }
 
     /// Architectural state.
@@ -76,8 +111,8 @@ impl Machine {
         self.state.pc()
     }
 
-    fn parts_mut(&mut self) -> (&Program, &mut ArchState, &mut Memory) {
-        (&self.program, &mut self.state, &mut self.memory)
+    fn parts_mut(&mut self) -> (&DecodedImage, &mut ArchState, &mut Memory) {
+        (&self.image, &mut self.state, &mut self.memory)
     }
 }
 
@@ -284,7 +319,7 @@ impl Core {
     /// `cmp/test + jcc` pair when fusion is enabled (§7.3).
     pub fn step(&mut self, machine: &mut Machine) -> StepResult {
         let cycle_before = self.cycle;
-        let (program, state, memory) = machine.parts_mut();
+        let (image, state, memory) = machine.parts_mut();
         let mut result = StepResult {
             first: None,
             second: None,
@@ -293,7 +328,7 @@ impl Core {
             fault: None,
             cycles: 0,
         };
-        let step1 = match self.exec_one(program, state, memory, false) {
+        let step1 = match self.exec_one(image, state, memory, false) {
             Ok(step) => step,
             Err(err) => {
                 result.fault = Some(err);
@@ -321,9 +356,9 @@ impl Core {
             let next_pc = state.pc();
             let same_line = next_pc.value() / 64 == step1.pc.value() / 64;
             if same_line {
-                if let Ok(next_inst) = program.decode_at(next_pc) {
+                if let Ok(next_inst) = image.decode_at(next_pc) {
                     if next_inst.kind() == InstKind::CondBranch {
-                        if let Ok(step2) = self.exec_one(program, state, memory, false) {
+                        if let Ok(step2) = self.exec_one(image, state, memory, false) {
                             self.stats.retired += 1;
                             self.stats.fused_pairs += 1;
                             result.second = Some(RetiredInst {
@@ -377,7 +412,7 @@ impl Core {
         let saved_rsb = self.rsb.clone();
         let saved_cycle = self.cycle;
         for _ in 0..depth {
-            match self.exec_one(machine.program(), &mut state, &mut overlay, true) {
+            match self.exec_one(machine.image(), &mut state, &mut overlay, true) {
                 Ok(step) => {
                     self.stats.speculated += 1;
                     if step.outcome.halt || step.outcome.syscall.is_some() {
@@ -400,7 +435,7 @@ impl Core {
     /// retirement (§2.2).
     fn exec_one<M: Bus>(
         &mut self,
-        program: &Program,
+        image: &DecodedImage,
         state: &mut ArchState,
         mem: &mut M,
         speculative: bool,
@@ -427,7 +462,7 @@ impl Core {
                     break;
                 };
                 self.events.push(FrontEndEvent::PwLookup { pc, hit: true });
-                match verify_bundle(program, pc, hit.branch_pc) {
+                match verify_bundle(image, pc, hit.branch_pc) {
                     BundleVerdict::BranchEndsThere => {
                         pending = Some(hit);
                         break;
@@ -472,8 +507,8 @@ impl Core {
             });
         }
 
-        // (2) Decode.
-        let inst = program.decode_at(pc)?;
+        // (2) Decode (from the pre-decoded image — one table hit).
+        let inst = image.decode_at(pc)?;
         let len = inst.len() as u64;
         let last_byte = pc.offset(len - 1);
 
@@ -688,13 +723,13 @@ enum BundleVerdict {
 /// (they carry no prediction of their own here, so fetch proceeds along
 /// the fall-through); unconditional transfers redirect decode and cut the
 /// bundle short.
-fn verify_bundle(program: &Program, pc: VirtAddr, branch_end: VirtAddr) -> BundleVerdict {
+fn verify_bundle(image: &DecodedImage, pc: VirtAddr, branch_end: VirtAddr) -> BundleVerdict {
     let mut cursor = pc;
     loop {
-        let Ok(inst) = program.decode_at(cursor) else {
+        let Some((inst, len)) = image.get(cursor) else {
             return BundleVerdict::MidInstruction;
         };
-        let last = cursor.offset(inst.len() as u64 - 1);
+        let last = cursor.offset(len as u64 - 1);
         if last == branch_end {
             return if inst.is_control_transfer() {
                 BundleVerdict::BranchEndsThere
@@ -708,7 +743,7 @@ fn verify_bundle(program: &Program, pc: VirtAddr, branch_end: VirtAddr) -> Bundl
         if inst.kind().is_unconditional() {
             return BundleVerdict::CutShortByEarlierTransfer;
         }
-        cursor = cursor.offset(inst.len() as u64);
+        cursor = cursor.offset(len as u64);
     }
 }
 

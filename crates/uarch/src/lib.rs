@@ -37,6 +37,7 @@
 mod btb;
 mod config;
 mod core;
+mod decoded;
 mod events;
 mod exec;
 mod lbr;
@@ -45,6 +46,7 @@ mod mem;
 pub use btb::{BranchKind, Btb, BtbHit, BtbStats, DomainId};
 pub use config::{BtbGeometry, CpuGeneration, TimingModel, UarchConfig};
 pub use core::{Core, CoreStats, Machine, RetiredInst, RunExit, StepResult};
+pub use decoded::DecodedImage;
 pub use events::{EventLog, FrontEndEvent, SquashCause};
 pub use exec::{execute, ArchState, ControlOutcome, ExecOutcome, MemAccess};
 pub use lbr::{Lbr, LbrRecord, LBR_DEPTH};

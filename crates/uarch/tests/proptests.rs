@@ -12,7 +12,7 @@ use nv_rand::Rng;
 use nv_uarch::{BranchKind, Btb, BtbGeometry, Core, Machine, RunExit, UarchConfig};
 
 fn arb_alu_inst(rng: &mut Rng) -> Inst {
-    let mut reg = |rng: &mut Rng| Reg::from_index(rng.gen_range(0..14)).unwrap();
+    let reg = |rng: &mut Rng| Reg::from_index(rng.gen_range(0..14)).unwrap();
     match rng.gen_range(0..9u32) {
         0 => Inst::Nop,
         1 => Inst::MovRr(reg(rng), reg(rng)),

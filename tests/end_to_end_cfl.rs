@@ -191,7 +191,7 @@ fn modexp_private_exponent_leaks_bit_for_bit() {
 #[test]
 fn modexp_under_cfr_still_leaks() {
     use nv_victims::ModExpVictim;
-    let victim = ModExpVictim::build(5, 0b1100_1010_1, 9973, &VictimConfig::with_cfr(17)).unwrap();
+    let victim = ModExpVictim::build(5, 0b1_1001_0101, 9973, &VictimConfig::with_cfr(17)).unwrap();
     assert_eq!(leak(&victim, UarchConfig::default()), victim.directions());
 }
 
