@@ -11,3 +11,11 @@ cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo fmt --check
 cargo clippy --offline --workspace --all-targets -- -D warnings
+
+# Noise-robustness smoke: the sweep binary's own assertions gate clean
+# accuracy at 100% and the paper-calibrated robust floor at 95%; on top,
+# the emitted JSON must parse and pin the clean cell explicitly.
+./target/release/repro_noise_sweep --smoke
+python3 -m json.tool target/BENCH_noise_smoke.json > /dev/null
+grep -q '"eviction_interval": 0, "jitter": 0, "squash_ppm": 0, "naive_accuracy": 1.0000, "robust_accuracy": 1.0000' \
+    target/BENCH_noise_smoke.json

@@ -10,7 +10,7 @@
 
 use nightvision::{AttackerRig, PwSpec};
 use nv_isa::{Assembler, VirtAddr};
-use nv_uarch::{BtbGeometry, Core, Machine, TimingModel, UarchConfig};
+use nv_uarch::{BtbGeometry, Core, Machine, Perturbation, TimingModel, UarchConfig};
 
 fn config_with(geometry: BtbGeometry) -> UarchConfig {
     UarchConfig {
@@ -19,6 +19,7 @@ fn config_with(geometry: BtbGeometry) -> UarchConfig {
         fusion: true,
         speculation_depth: 12,
         rsb_depth: 16,
+        perturbation: Perturbation::none(),
     }
 }
 

@@ -22,6 +22,7 @@
 
 pub mod experiments;
 pub mod microbench;
+pub mod noise;
 
 use std::collections::BTreeSet;
 

@@ -5,6 +5,37 @@ use std::fmt;
 
 use nv_isa::{IsaError, VirtAddr};
 
+/// Why a probe pass failed — carried by [`AttackError::ProbeFailed`] so a
+/// failed noisy measurement is diagnosable (and so retry logic can tell a
+/// transient wedge from a structural problem).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum ProbeFailureCause {
+    /// The chain run wedged: it faulted, halted, or exited some way other
+    /// than the checkpoint syscall.
+    ChainWedged,
+    /// The step budget ran out before the chain reached its checkpoint.
+    StepBudgetExhausted,
+    /// The LBR held no record for a window's jump (or no record after it)
+    /// when the measurement was read back.
+    LbrRecordMissing,
+    /// More than one LBR record matched a window's jump in a single pass —
+    /// a stale duplicate that would make the measurement unattributable.
+    LbrRecordAmbiguous,
+}
+
+impl fmt::Display for ProbeFailureCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let text = match self {
+            ProbeFailureCause::ChainWedged => "the snippet chain wedged",
+            ProbeFailureCause::StepBudgetExhausted => "the step budget was exhausted",
+            ProbeFailureCause::LbrRecordMissing => "an expected LBR record is missing",
+            ProbeFailureCause::LbrRecordAmbiguous => "duplicate LBR records match the jump",
+        };
+        f.write_str(text)
+    }
+}
+
 /// Errors raised while building or running NightVision attacks.
 #[derive(Clone, PartialEq, Eq, Debug)]
 #[non_exhaustive]
@@ -25,9 +56,24 @@ pub enum AttackError {
     },
     /// Underlying assembly of an attack snippet failed.
     Snippet(IsaError),
-    /// The probe run did not complete (victim wedged the attacker, or the
-    /// step budget was exhausted).
-    ProbeFailed,
+    /// A probe pass did not produce a usable measurement.
+    ProbeFailed {
+        /// Index (in address order) of the window being measured, when the
+        /// failure is attributable to one.
+        window: Option<usize>,
+        /// The window's aliased jump address, when known.
+        jump: Option<VirtAddr>,
+        /// What went wrong.
+        cause: ProbeFailureCause,
+    },
+    /// Robust probing burned through its whole retry budget without a
+    /// usable pass ([`crate::AttackerRig::probe_robust`]).
+    RetriesExhausted {
+        /// Retries spent before giving up.
+        retries: usize,
+        /// The failure that ended the last attempt.
+        last: ProbeFailureCause,
+    },
     /// The rig was probed before [`crate::AttackerRig::calibrate`].
     NotCalibrated,
     /// A chain of this many windows produces more LBR records than the
@@ -54,7 +100,25 @@ impl fmt::Display for AttackError {
                 write!(f, "prediction windows overlap at {at}")
             }
             AttackError::Snippet(err) => write!(f, "attack snippet assembly failed: {err}"),
-            AttackError::ProbeFailed => write!(f, "probe run did not reach its checkpoint"),
+            AttackError::ProbeFailed {
+                window,
+                jump,
+                cause,
+            } => {
+                write!(f, "probe failed: {cause}")?;
+                if let Some(window) = window {
+                    write!(f, " (window {window}")?;
+                    if let Some(jump) = jump {
+                        write!(f, ", jump at {jump}")?;
+                    }
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            AttackError::RetriesExhausted { retries, last } => write!(
+                f,
+                "robust probe gave up after {retries} retries; last failure: {last}"
+            ),
             AttackError::NotCalibrated => {
                 write!(f, "attacker rig must be calibrated before probing")
             }
@@ -81,6 +145,17 @@ impl From<IsaError> for AttackError {
     }
 }
 
+impl AttackError {
+    /// A [`AttackError::ProbeFailed`] not attributable to one window.
+    pub const fn probe_failed(cause: ProbeFailureCause) -> Self {
+        AttackError::ProbeFailed {
+            window: None,
+            jump: None,
+            cause,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,7 +171,16 @@ mod tests {
                 at: VirtAddr::new(0x20),
             },
             AttackError::Snippet(IsaError::BadOpcode(0xff)),
-            AttackError::ProbeFailed,
+            AttackError::probe_failed(ProbeFailureCause::ChainWedged),
+            AttackError::ProbeFailed {
+                window: Some(3),
+                jump: Some(VirtAddr::new(0x2_4000_010c)),
+                cause: ProbeFailureCause::LbrRecordMissing,
+            },
+            AttackError::RetriesExhausted {
+                retries: 8,
+                last: ProbeFailureCause::StepBudgetExhausted,
+            },
             AttackError::NotCalibrated,
             AttackError::ChainExceedsLbr {
                 windows: 32,

@@ -46,9 +46,9 @@ mod rig;
 pub mod seq_fingerprint;
 pub mod trace;
 
-pub use error::AttackError;
+pub use error::{AttackError, ProbeFailureCause};
 pub use nv_core::NvCore;
 pub use nv_supervisor::{ExtractedTrace, NvSupervisor, StepMeasurement, SupervisorConfig};
 pub use nv_user::{NoiseModel, NvUser, SliceReading};
 pub use pw::{PwSpec, DEFAULT_ALIAS_DISTANCE};
-pub use rig::AttackerRig;
+pub use rig::{AttackerRig, Resilience};

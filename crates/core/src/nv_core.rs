@@ -4,7 +4,7 @@ use nv_uarch::Core;
 
 use crate::error::AttackError;
 use crate::pw::PwSpec;
-use crate::rig::AttackerRig;
+use crate::rig::{AttackerRig, Resilience};
 
 /// The NV-Core primitive: "determine if a fragment of the victim's
 /// execution contains instruction bytes overlapping with a specified
@@ -39,6 +39,7 @@ use crate::rig::AttackerRig;
 #[derive(Clone, Debug)]
 pub struct NvCore {
     rig: AttackerRig,
+    resilience: Resilience,
 }
 
 impl NvCore {
@@ -49,8 +50,21 @@ impl NvCore {
     ///
     /// Propagates rig construction failures.
     pub fn new(pws: Vec<PwSpec>) -> Result<Self, AttackError> {
+        Self::with_resilience(pws, Resilience::none())
+    }
+
+    /// [`NvCore::new`] with a robustness knob: `resilience.votes`
+    /// measurements (the fragment re-runs before each extra vote and each
+    /// window's verdict is the majority) and up to
+    /// `resilience.retry_budget` re-primed retries after a failed pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates rig construction failures.
+    pub fn with_resilience(pws: Vec<PwSpec>, resilience: Resilience) -> Result<Self, AttackError> {
         Ok(NvCore {
             rig: AttackerRig::new(pws)?,
+            resilience,
         })
     }
 
@@ -73,15 +87,22 @@ impl NvCore {
     /// the previous probe), `fragment` runs the victim, and the probe
     /// reports per-window whether the victim overlapped it.
     ///
+    /// With a multi-vote [`Resilience`], probing consumes the signal it
+    /// measures, so `fragment` is re-invoked before every additional vote
+    /// — it must be able to reproduce the victim fragment (hence the
+    /// `FnMut` bound).
+    ///
     /// # Errors
     ///
-    /// Propagates probe failures.
-    pub fn measure<F>(&mut self, core: &mut Core, fragment: F) -> Result<Vec<bool>, AttackError>
+    /// Propagates probe failures; [`AttackError::RetriesExhausted`] when a
+    /// non-zero retry budget runs out.
+    pub fn measure<F>(&mut self, core: &mut Core, mut fragment: F) -> Result<Vec<bool>, AttackError>
     where
-        F: FnOnce(&mut Core),
+        F: FnMut(&mut Core),
     {
         fragment(core);
-        self.rig.probe(core)
+        self.rig
+            .probe_robust(core, self.resilience, |core| fragment(core))
     }
 
     /// Direct access to the underlying rig.

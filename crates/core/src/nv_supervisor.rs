@@ -20,9 +20,9 @@ use nv_isa::{VirtAddr, BLOCK_BYTES, PAGE_BYTES};
 use nv_os::{Enclave, StepExit};
 use nv_uarch::Core;
 
-use crate::error::AttackError;
+use crate::error::{AttackError, ProbeFailureCause};
 use crate::pw::PwSpec;
-use crate::rig::AttackerRig;
+use crate::rig::{AttackerRig, Resilience};
 
 /// Configuration of the NV-S attack.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -37,6 +37,12 @@ pub struct SupervisorConfig {
     /// branch target that the next step then architecturally reached —
     /// "ruling out the repeated candidates". Ruled-out steps report no PC.
     pub rule_out_repeats: bool,
+    /// Noise resilience. `votes > 1` repeats every extraction run that
+    /// many times — the enclave re-executes deterministically, so whole
+    /// runs are NV-S's natural voting unit — and majority-votes each
+    /// step's window matches; `retry_budget` re-runs failed passes before
+    /// giving up with [`AttackError::RetriesExhausted`].
+    pub resilience: Resilience,
 }
 
 impl Default for SupervisorConfig {
@@ -45,6 +51,7 @@ impl Default for SupervisorConfig {
             windows_per_call: 8,
             max_steps: 200_000,
             rule_out_repeats: true,
+            resilience: Resilience::none(),
         }
     }
 }
@@ -267,7 +274,10 @@ impl NvSupervisor {
                     current_page = Some(page);
                 }
                 step => {
-                    let page = current_page.ok_or(AttackError::ProbeFailed)?;
+                    // A step retired before the controlled channel ever
+                    // reported a page: the channel is wedged.
+                    let page = current_page
+                        .ok_or(AttackError::probe_failed(ProbeFailureCause::ChainWedged))?;
                     steps.push(StepState {
                         page,
                         data_access: !step.data_pages.is_empty(),
@@ -279,13 +289,17 @@ impl NvSupervisor {
                     match step.exit {
                         StepExit::Finished => return Ok(steps),
                         StepExit::Retired => {}
-                        StepExit::Wedged => return Err(AttackError::ProbeFailed),
+                        StepExit::Wedged => {
+                            return Err(AttackError::probe_failed(ProbeFailureCause::ChainWedged))
+                        }
                         StepExit::PageFault { .. } => unreachable!(),
                     }
                 }
             }
         }
-        Err(AttackError::ProbeFailed)
+        Err(AttackError::probe_failed(
+            ProbeFailureCause::StepBudgetExhausted,
+        ))
     }
 
     /// One enclave execution measuring every step against the same group
@@ -388,9 +402,14 @@ impl NvSupervisor {
         )
     }
 
-    /// The shared per-run loop: reset, controlled channel, and per step:
-    /// build rig from `choose_pws`, calibrate+prime, step, probe, feed the
-    /// result to `record`.
+    /// The shared per-run driver. With `resilience.votes == 1` this is one
+    /// pass of [`NvSupervisor::stepped_run_once`]; with more votes the
+    /// deterministic enclave is re-executed `votes` times — the whole run
+    /// is NV-S's voting unit, since a probe pass consumes its own signal
+    /// and only a fresh re-execution can reproduce it — and each step's
+    /// window matches are decided by majority before a single `record`
+    /// pass applies them. Runs that fail with a probe error are re-run up
+    /// to `resilience.retry_budget` times.
     fn stepped_run(
         &self,
         enclave: &mut Enclave,
@@ -398,6 +417,84 @@ impl NvSupervisor {
         steps: &mut [StepState],
         choose_pws: impl Fn(&StepState) -> Vec<PwSpec>,
         mut record: impl FnMut(&mut StepState, &[PwSpec], &[bool]),
+    ) -> Result<(), AttackError> {
+        let resilience = self.config.resilience;
+        let votes = resilience.votes.max(1);
+        // `steps` stays immutable while votes are tallied, so every
+        // re-execution probes the identical window schedule.
+        let mut tallies: Vec<Vec<usize>> = steps
+            .iter()
+            .map(|state| vec![0usize; choose_pws(state).len()])
+            .collect();
+        let mut completed = 0usize;
+        let mut retries_left = resilience.retry_budget;
+        let mut retries_used = 0usize;
+        while completed < votes {
+            // Per-run tally, merged only if the run completes: a failed
+            // run's partial measurements must not influence the vote.
+            let mut run_tally: Vec<Vec<usize>> =
+                tallies.iter().map(|t| vec![0usize; t.len()]).collect();
+            let result =
+                self.stepped_run_once(enclave, core, steps, &choose_pws, |index, matched| {
+                    for (count, &m) in run_tally[index].iter_mut().zip(matched) {
+                        *count += usize::from(m);
+                    }
+                });
+            match result {
+                Ok(()) => {
+                    for (total, run) in tallies.iter_mut().zip(&run_tally) {
+                        for (t, r) in total.iter_mut().zip(run) {
+                            *t += r;
+                        }
+                    }
+                    completed += 1;
+                }
+                Err(err @ AttackError::ProbeFailed { .. }) => {
+                    if retries_left == 0 {
+                        if retries_used == 0 {
+                            // No retries were configured: propagate the
+                            // underlying failure unchanged (legacy
+                            // behaviour of the un-voted path).
+                            return Err(err);
+                        }
+                        let AttackError::ProbeFailed { cause, .. } = err else {
+                            unreachable!("guarded by the match arm");
+                        };
+                        return Err(AttackError::RetriesExhausted {
+                            retries: retries_used,
+                            last: cause,
+                        });
+                    }
+                    retries_left -= 1;
+                    retries_used += 1;
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        for (index, state) in steps.iter_mut().enumerate() {
+            let pws = choose_pws(state);
+            if pws.is_empty() {
+                continue;
+            }
+            let matched: Vec<bool> = tallies[index]
+                .iter()
+                .map(|&count| 2 * count > votes)
+                .collect();
+            record(state, &pws, &matched);
+        }
+        Ok(())
+    }
+
+    /// One extraction run: reset, controlled channel, and per step: build
+    /// rig from `choose_pws`, calibrate+prime, step, probe, report the
+    /// matches to `observe` (keyed by step index).
+    fn stepped_run_once(
+        &self,
+        enclave: &mut Enclave,
+        core: &mut Core,
+        steps: &[StepState],
+        choose_pws: impl Fn(&StepState) -> Vec<PwSpec>,
+        mut observe: impl FnMut(usize, &[bool]),
     ) -> Result<(), AttackError> {
         enclave.reset();
         let pages: Vec<u64> = enclave.code_pages().to_vec();
@@ -412,7 +509,7 @@ impl NvSupervisor {
             if index >= steps.len() {
                 return Ok(());
             }
-            let state = &mut steps[index];
+            let state = &steps[index];
             let pws = choose_pws(state);
             // Prime (skip when this step has nothing to measure).
             if !pws.is_empty() {
@@ -446,7 +543,9 @@ impl NvSupervisor {
                             }
                         }
                     }
-                    StepExit::Wedged => return Err(AttackError::ProbeFailed),
+                    StepExit::Wedged => {
+                        return Err(AttackError::probe_failed(ProbeFailureCause::ChainWedged))
+                    }
                     _ => break step,
                 }
             };
@@ -454,14 +553,16 @@ impl NvSupervisor {
             if !pws.is_empty() {
                 if let Some((_, rig)) = rig_cache.as_mut() {
                     let matched = rig.probe(core)?;
-                    record(state, &pws, &matched);
+                    observe(index, &matched);
                 }
             }
             if matches!(step.exit, StepExit::Finished) {
                 return Ok(());
             }
         }
-        Err(AttackError::ProbeFailed)
+        Err(AttackError::probe_failed(
+            ProbeFailureCause::StepBudgetExhausted,
+        ))
     }
 }
 
@@ -469,7 +570,7 @@ impl NvSupervisor {
 mod tests {
     use super::*;
     use nv_isa::{Assembler, Cond, Reg};
-    use nv_uarch::UarchConfig;
+    use nv_uarch::{Perturbation, UarchConfig};
 
     fn extract(build: impl FnOnce(&mut Assembler)) -> (ExtractedTrace, Vec<VirtAddr>) {
         let mut asm = Assembler::new(VirtAddr::new(0x40_0000));
@@ -616,6 +717,56 @@ mod tests {
         assert!(ruled.pcs().len() < raw.pcs().len());
         assert!(ruled.pcs().contains(&body));
         assert_eq!(ruled.len(), raw.len(), "steps counted identically");
+    }
+
+    #[test]
+    fn voted_extraction_matches_single_shot() {
+        // NV-S's voting unit is the whole deterministic enclave re-run.
+        // On a quiet core every re-execution is identical, so 3-vote
+        // majority extraction must agree bit-for-bit with the single-shot
+        // path; under mild injected jitter the adaptive margins absorb
+        // the noise and the voted trace still matches.
+        let mut asm = Assembler::new(VirtAddr::new(0x40_0000));
+        asm.mov_ri(Reg::R0, 2);
+        asm.label("loop");
+        asm.sub_ri8(Reg::R0, 1);
+        asm.cmp_ri8(Reg::R0, 0);
+        asm.jcc8(Cond::Ne, "loop");
+        asm.halt();
+        let program = asm.finish().unwrap();
+
+        let extract_with = |resilience: Resilience, perturbation: Perturbation| {
+            let mut enclave = Enclave::new(program.clone());
+            let mut core = Core::new(UarchConfig {
+                perturbation,
+                ..UarchConfig::default()
+            });
+            NvSupervisor::new(SupervisorConfig {
+                resilience,
+                ..SupervisorConfig::default()
+            })
+            .extract_trace(&mut enclave, &mut core)
+            .unwrap()
+            .pcs()
+        };
+
+        let single = extract_with(Resilience::none(), Perturbation::none());
+        let voted = extract_with(
+            Resilience {
+                votes: 3,
+                retry_budget: 2,
+            },
+            Perturbation::none(),
+        );
+        assert_eq!(voted, single);
+
+        let jitter = Perturbation {
+            seed: 13,
+            eviction_interval: 0,
+            jitter_amplitude: 2,
+            squash_per_million: 0,
+        };
+        assert_eq!(extract_with(Resilience::paper_robust(), jitter), single);
     }
 
     #[test]

@@ -12,17 +12,100 @@
 use nv_isa::{Assembler, Program, VirtAddr};
 use nv_uarch::{Core, Machine, RunExit, LBR_DEPTH};
 
-use crate::error::AttackError;
+use crate::error::{AttackError, ProbeFailureCause};
 use crate::pw::{PwSpec, DEFAULT_ALIAS_DISTANCE};
 
 /// Syscall number the harness raises when a probe pass completes
 /// (`nv_os::syscalls::CHECKPOINT`).
 const CHECKPOINT: u8 = 2;
 
-/// Margin (cycles) above the calibrated baseline that counts as a
+/// Base margin (cycles) above the calibrated floor that counts as a
 /// misprediction. Half the default squash penalty keeps both false
-/// positives and false negatives at zero in a noise-free system.
-const MATCH_MARGIN: u64 = 4;
+/// positives and false negatives at zero in a noise-free system;
+/// calibration widens it per window by the spread it observes
+/// ([`AttackerRig::calibrate`]).
+const BASE_MARGIN: u64 = 4;
+
+/// Calibration passes for [`AttackerRig::calibrate`]. In a quiet system
+/// every pass measures the same values, so the derived thresholds
+/// degenerate to the legacy fixed-margin behaviour exactly.
+const CALIBRATION_PASSES: usize = 5;
+
+/// Robust-probing parameters: how many majority-vote probes to take and
+/// how many failed passes to retry before giving up.
+///
+/// [`Resilience::none`] (the default) is a single un-retried probe —
+/// byte-identical to [`AttackerRig::probe`]. [`Resilience::paper_robust`]
+/// is the 5-vote configuration the noise sweep evaluates.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Resilience {
+    /// Probe passes to majority-vote over (≥ 1). Between passes the caller
+    /// must replay the victim, since probing re-primes the chain and
+    /// consumes the signal.
+    pub votes: usize,
+    /// Failed passes tolerated across the whole measurement: each failure
+    /// burns one retry (re-prime, replay, re-probe); exhaustion raises
+    /// [`AttackError::RetriesExhausted`].
+    pub retry_budget: usize,
+}
+
+impl Resilience {
+    /// One probe, no retries — the legacy single-shot behaviour.
+    pub const fn none() -> Self {
+        Resilience {
+            votes: 1,
+            retry_budget: 0,
+        }
+    }
+
+    /// 5-vote majority with a retry budget of 8 — the configuration under
+    /// which the noise sweep holds ≥ 95 % accuracy at paper-calibrated
+    /// noise (`repro_noise_sweep`).
+    pub const fn paper_robust() -> Self {
+        Resilience {
+            votes: 5,
+            retry_budget: 8,
+        }
+    }
+}
+
+impl Default for Resilience {
+    /// [`Resilience::none`].
+    fn default() -> Self {
+        Resilience::none()
+    }
+}
+
+/// Per-window, per-signal decision thresholds derived by calibration:
+/// the quiet-case floor plus an adaptive margin sized to the spread the
+/// calibration passes observed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct WindowBaseline {
+    /// Smallest quiet elapsed value of the window's own jump record.
+    own_floor: u64,
+    /// Margin above `own_floor` that still reads as quiet.
+    own_margin: u64,
+    /// Smallest quiet elapsed value of the record following the jump.
+    next_floor: u64,
+    /// Margin above `next_floor` that still reads as quiet.
+    next_margin: u64,
+}
+
+impl WindowBaseline {
+    /// Derives a `(floor, margin)` pair from one signal's quiet samples:
+    /// the floor is the minimum, the margin is [`BASE_MARGIN`] widened by
+    /// the observed spread up to the median. Using the median (not the
+    /// max) keeps one outlier pass — e.g. a calibration pass hit by an
+    /// injected preemption — from inflating the threshold past the
+    /// squash-penalty signal it must keep detecting.
+    fn derive(samples: &mut [u64]) -> (u64, u64) {
+        debug_assert!(!samples.is_empty());
+        samples.sort_unstable();
+        let floor = samples[0];
+        let median = samples[samples.len() / 2];
+        (floor, BASE_MARGIN + (median - floor))
+    }
+}
 
 /// A primed-and-probeable chain of PW snippets.
 ///
@@ -59,7 +142,7 @@ pub struct AttackerRig {
     entry: VirtAddr,
     jmp_addrs: Vec<VirtAddr>,
     pws: Vec<PwSpec>,
-    baseline: Option<Vec<(u64, u64)>>,
+    baseline: Option<Vec<WindowBaseline>>,
 }
 
 impl AttackerRig {
@@ -191,6 +274,23 @@ impl AttackerRig {
         &self.pws
     }
 
+    /// Per window (in address order), the aliased address of the byte its
+    /// snippet jump's BTB entry is indexed by — the jump's *last* byte,
+    /// since entries are end-byte-indexed. This is the exact entry a
+    /// competing process must displace to corrupt that window's reading,
+    /// which is how `NvUser`'s noise model produces physically-grounded
+    /// bit flips.
+    pub fn snippet_entry_pcs(&self) -> Vec<VirtAddr> {
+        self.jmp_addrs
+            .iter()
+            .zip(&self.pws)
+            .map(|(&jmp, pw)| {
+                let jmp_len: u64 = if pw.len() >= 5 { 5 } else { 2 };
+                jmp.offset(jmp_len - 1)
+            })
+            .collect()
+    }
+
     /// Runs the snippet chain once on `core`, leaving one BTB entry per
     /// window — the *prime* step of NV-Core.
     ///
@@ -201,16 +301,60 @@ impl AttackerRig {
         self.run_chain(core)
     }
 
-    /// Calibrates the no-victim baseline: primes, then measures one quiet
-    /// probe pass. Must be called once before [`AttackerRig::probe`].
+    /// Calibrates the no-victim baseline: primes, then samples
+    /// [`CALIBRATION_PASSES`] quiet probe passes and derives a per-window
+    /// *adaptive margin* from the observed spread. Must be called once
+    /// before [`AttackerRig::probe`].
+    ///
+    /// In a noise-free system every pass is identical, so the floor equals
+    /// the legacy single-pass baseline and the margin stays at
+    /// [`BASE_MARGIN`] — the thresholds (and therefore every probe
+    /// decision) are unchanged. Under injected noise the margin widens to
+    /// absorb the jitter the environment actually exhibits.
     ///
     /// # Errors
     ///
-    /// Returns [`AttackError::ProbeFailed`] if either pass fails.
+    /// Returns [`AttackError::ProbeFailed`] if any pass fails.
     pub fn calibrate(&mut self, core: &mut Core) -> Result<(), AttackError> {
+        self.calibrate_with(core, CALIBRATION_PASSES)
+    }
+
+    /// [`AttackerRig::calibrate`] with an explicit quiet-pass count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::ProbeFailed`] if any pass fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `passes` is zero.
+    pub fn calibrate_with(&mut self, core: &mut Core, passes: usize) -> Result<(), AttackError> {
+        assert!(passes > 0, "calibration needs at least one pass");
         self.run_chain(core)?; // prime
-        let elapsed = self.measured_pass(core)?;
-        self.baseline = Some(elapsed);
+        let mut own_samples = vec![Vec::with_capacity(passes); self.pws.len()];
+        let mut next_samples = vec![Vec::with_capacity(passes); self.pws.len()];
+        for _ in 0..passes {
+            let elapsed = self.measured_pass(core)?;
+            for (window, (own, next)) in elapsed.into_iter().enumerate() {
+                own_samples[window].push(own);
+                next_samples[window].push(next);
+            }
+        }
+        let baseline = own_samples
+            .iter_mut()
+            .zip(&mut next_samples)
+            .map(|(own, next)| {
+                let (own_floor, own_margin) = WindowBaseline::derive(own);
+                let (next_floor, next_margin) = WindowBaseline::derive(next);
+                WindowBaseline {
+                    own_floor,
+                    own_margin,
+                    next_floor,
+                    next_margin,
+                }
+            })
+            .collect();
+        self.baseline = Some(baseline);
         Ok(())
     }
 
@@ -230,13 +374,82 @@ impl AttackerRig {
         Ok(elapsed
             .iter()
             .zip(&baseline)
-            .map(|(&(own, next), &(own_base, next_base))| {
+            .map(|(&(own, next), base)| {
                 // A *stolen* prediction squashes while the window's own
                 // snippet fetches (its jump's record); a *deallocated*
                 // entry makes the jump itself miss, delaying what follows
                 // (the trampoline's record).
-                own > own_base + MATCH_MARGIN || next > next_base + MATCH_MARGIN
+                own > base.own_floor + base.own_margin || next > base.next_floor + base.next_margin
             })
+            .collect())
+    }
+
+    /// Noise-robust probe: takes `resilience.votes` probe passes, calling
+    /// `replay` before every pass after the first to re-establish the
+    /// victim's disturbance (probing re-primes the chain, so the signal is
+    /// consumed by each pass), and majority-votes per window. Failed
+    /// passes are retried — re-prime, `replay`, probe again — up to
+    /// `resilience.retry_budget` times across the whole measurement.
+    ///
+    /// With [`Resilience::none`] this is exactly one [`AttackerRig::probe`]
+    /// call and `replay` is never invoked.
+    ///
+    /// # Errors
+    ///
+    /// * [`AttackError::NotCalibrated`] — call
+    ///   [`AttackerRig::calibrate`] first;
+    /// * [`AttackError::RetriesExhausted`] — the retry budget ran out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resilience.votes` is zero.
+    pub fn probe_robust(
+        &mut self,
+        core: &mut Core,
+        resilience: Resilience,
+        mut replay: impl FnMut(&mut Core),
+    ) -> Result<Vec<bool>, AttackError> {
+        assert!(resilience.votes >= 1, "majority voting needs >= 1 vote");
+        if self.baseline.is_none() {
+            return Err(AttackError::NotCalibrated);
+        }
+        let mut counts = vec![0usize; self.pws.len()];
+        let mut retries_left = resilience.retry_budget;
+        let mut retries_used = 0usize;
+        for vote in 0..resilience.votes {
+            if vote > 0 {
+                replay(core);
+            }
+            loop {
+                match self.probe(core) {
+                    Ok(matches) => {
+                        for (count, matched) in counts.iter_mut().zip(&matches) {
+                            *count += usize::from(*matched);
+                        }
+                        break;
+                    }
+                    Err(AttackError::ProbeFailed { cause, .. }) => {
+                        if retries_left == 0 {
+                            return Err(AttackError::RetriesExhausted {
+                                retries: retries_used,
+                                last: cause,
+                            });
+                        }
+                        retries_left -= 1;
+                        retries_used += 1;
+                        // Recover: re-prime (a failure here surfaces via
+                        // the retried probe) and replay the victim so the
+                        // disturbance the failed pass consumed is back.
+                        let _ = self.prime(core);
+                        replay(core);
+                    }
+                    Err(other) => return Err(other),
+                }
+            }
+        }
+        Ok(counts
+            .into_iter()
+            .map(|count| 2 * count > resilience.votes)
             .collect())
     }
 
@@ -248,14 +461,32 @@ impl AttackerRig {
         self.run_chain(core)?;
         let records: Vec<_> = core.lbr().iter().copied().collect();
         let mut elapsed = Vec::with_capacity(self.jmp_addrs.len());
-        for &jmp in &self.jmp_addrs {
-            let idx = records
+        // The chain executes the windows in address order, so each window's
+        // records lie strictly after the previous window's: resume the
+        // search there rather than from the front, so a stale duplicate
+        // record (possible under retried/interrupted passes) can never be
+        // silently matched in place of the current pass's record.
+        let mut cursor = 0usize;
+        for (window, &jmp) in self.jmp_addrs.iter().enumerate() {
+            let fail = |cause| AttackError::ProbeFailed {
+                window: Some(window),
+                jump: Some(jmp),
+                cause,
+            };
+            let idx = records[cursor..]
                 .iter()
                 .position(|r| r.from == jmp)
-                .ok_or(AttackError::ProbeFailed)?;
+                .map(|i| cursor + i)
+                .ok_or_else(|| fail(ProbeFailureCause::LbrRecordMissing))?;
+            if records[idx + 1..].iter().any(|r| r.from == jmp) {
+                return Err(fail(ProbeFailureCause::LbrRecordAmbiguous));
+            }
             let own = records[idx].elapsed;
-            let next = records.get(idx + 1).ok_or(AttackError::ProbeFailed)?;
+            let next = records
+                .get(idx + 1)
+                .ok_or_else(|| fail(ProbeFailureCause::LbrRecordMissing))?;
             elapsed.push((own, next.elapsed));
+            cursor = idx + 1;
         }
         Ok(elapsed)
     }
@@ -268,7 +499,10 @@ impl AttackerRig {
         let budget = 64 + 16 * self.pws.len() as u64;
         match core.run(&mut self.machine, budget) {
             RunExit::Syscall(code) if code == CHECKPOINT => Ok(()),
-            _ => Err(AttackError::ProbeFailed),
+            RunExit::StepLimit => Err(AttackError::probe_failed(
+                ProbeFailureCause::StepBudgetExhausted,
+            )),
+            _ => Err(AttackError::probe_failed(ProbeFailureCause::ChainWedged)),
         }
     }
 }
@@ -443,6 +677,160 @@ mod tests {
             rig.probe(&mut core).unwrap(),
             vec![true],
             "signal survives the barrier too"
+        );
+    }
+
+    #[test]
+    fn adaptive_margin_absorbs_calibrated_jitter() {
+        // Under LBR jitter alone (no evictions), calibration must widen
+        // the margins enough that quiet probes stay mostly quiet, while a
+        // real victim disturbance (a full squash penalty) still reads as a
+        // match. Jitter amplitude 5 < squash 17 leaves room for both.
+        use nv_uarch::Perturbation;
+        let mut core = Core::new(UarchConfig {
+            perturbation: Perturbation {
+                seed: 21,
+                eviction_interval: 0,
+                jitter_amplitude: 5,
+                squash_per_million: 0,
+            },
+            ..UarchConfig::default()
+        });
+        let pw = PwSpec::new(VirtAddr::new(0x40_0100), 16).unwrap();
+        let mut rig = AttackerRig::new(vec![pw]).unwrap();
+        rig.calibrate(&mut core).unwrap();
+        let quiet_matches = (0..20)
+            .filter(|_| rig.probe(&mut core).unwrap() == vec![true])
+            .count();
+        assert!(
+            quiet_matches <= 4,
+            "adaptive margin should absorb most jitter: {quiet_matches}/20 false positives"
+        );
+        // A genuine victim still trips the detector.
+        let mut victim = victim_nops(0x40_0100, 20);
+        core.reset_frontend();
+        core.run(&mut victim, 100);
+        assert_eq!(rig.probe(&mut core).unwrap(), vec![true]);
+    }
+
+    #[test]
+    fn probe_robust_with_no_resilience_matches_probe() {
+        let pw = PwSpec::new(VirtAddr::new(0x40_0100), 16).unwrap();
+        let mut rig = AttackerRig::new(vec![pw]).unwrap();
+        let mut core = core();
+        rig.calibrate(&mut core).unwrap();
+        let mut victim = victim_nops(0x40_0100, 20);
+        core.reset_frontend();
+        core.run(&mut victim, 100);
+        let mut replayed = false;
+        let result = rig
+            .probe_robust(&mut core, Resilience::none(), |_| replayed = true)
+            .unwrap();
+        assert_eq!(result, vec![true]);
+        assert!(!replayed, "a single vote never replays");
+    }
+
+    #[test]
+    fn probe_robust_votes_replay_the_victim() {
+        // With 5 votes the victim is replayed 4 times; every vote sees the
+        // disturbance, so the majority is unanimous. Without the replay
+        // the probe's own re-prime would erase the signal after vote 1 and
+        // the majority would flip to quiet — which is the bug class this
+        // API exists to avoid.
+        let pw = PwSpec::new(VirtAddr::new(0x40_0100), 16).unwrap();
+        let mut rig = AttackerRig::new(vec![pw]).unwrap();
+        let mut core = core();
+        rig.calibrate(&mut core).unwrap();
+        let mut victim = victim_nops(0x40_0100, 20);
+        core.reset_frontend();
+        core.run(&mut victim, 100);
+        let mut replays = 0;
+        let result = rig
+            .probe_robust(&mut core, Resilience::paper_robust(), |core| {
+                replays += 1;
+                let mut victim = victim_nops(0x40_0100, 20);
+                core.reset_frontend();
+                core.run(&mut victim, 100);
+            })
+            .unwrap();
+        assert_eq!(result, vec![true]);
+        assert_eq!(replays, 4);
+        // Quiet afterwards (nothing replayed the victim since).
+        let quiet = rig
+            .probe_robust(&mut core, Resilience::paper_robust(), |_| {})
+            .unwrap();
+        assert_eq!(quiet, vec![false]);
+    }
+
+    #[test]
+    fn probe_robust_exhausts_retry_budget_with_structured_error() {
+        // Wedge the chain permanently by overwriting the harness: point
+        // the rig's entry PC at unmapped memory so every pass faults.
+        let pw = PwSpec::new(VirtAddr::new(0x40_0100), 16).unwrap();
+        let mut rig = AttackerRig::new(vec![pw]).unwrap();
+        let mut core = core();
+        rig.calibrate(&mut core).unwrap();
+        rig.entry = VirtAddr::new(0xdead_0000);
+        let err = rig
+            .probe_robust(
+                &mut core,
+                Resilience {
+                    votes: 3,
+                    retry_budget: 2,
+                },
+                |_| {},
+            )
+            .unwrap_err();
+        match err {
+            AttackError::RetriesExhausted { retries, last } => {
+                assert_eq!(retries, 2);
+                assert_eq!(last, ProbeFailureCause::ChainWedged);
+            }
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn probe_failure_carries_window_context() {
+        // Truncate the LBR before the readout: the first window's record
+        // is missing and the error must say which one.
+        let pw = PwSpec::new(VirtAddr::new(0x40_0100), 16).unwrap();
+        let mut rig = AttackerRig::new(vec![pw]).unwrap();
+        let mut core = core();
+        rig.calibrate(&mut core).unwrap();
+        // Sabotage: give the harness an unreachable budget by wedging via
+        // a bogus entry, then check the run_chain-level cause too.
+        let saved = rig.entry;
+        rig.entry = VirtAddr::new(0xdead_0000);
+        let err = rig.probe(&mut core).unwrap_err();
+        assert!(matches!(
+            err,
+            AttackError::ProbeFailed {
+                cause: ProbeFailureCause::ChainWedged,
+                ..
+            }
+        ));
+        rig.entry = saved;
+        assert_eq!(rig.probe(&mut core).unwrap(), vec![false]);
+    }
+
+    #[test]
+    fn snippet_entry_pcs_are_end_byte_indexed() {
+        let pws = vec![
+            PwSpec::new(VirtAddr::new(0x40_0100), 16).unwrap(),
+            PwSpec::new(VirtAddr::new(0x40_0140), 16).unwrap(),
+        ];
+        let rig = AttackerRig::new(pws).unwrap();
+        let entries = rig.snippet_entry_pcs();
+        // Each window's jump fills the last 5 bytes; its entry byte is the
+        // aliased window end minus one.
+        let alias = DEFAULT_ALIAS_DISTANCE;
+        assert_eq!(
+            entries,
+            vec![
+                VirtAddr::new(0x40_0110 + alias - 1),
+                VirtAddr::new(0x40_0150 + alias - 1),
+            ]
         );
     }
 

@@ -113,6 +113,9 @@ pub struct BtbStats {
     pub deallocations: u64,
     /// Entries evicted by LRU replacement.
     pub evictions: u64,
+    /// Entries invalidated by injected competing-process contention
+    /// ([`Btb::evict_entry`]); zero unless fault injection is enabled.
+    pub external_evictions: u64,
 }
 
 /// The set-associative Branch Target Buffer.
@@ -311,6 +314,24 @@ impl Btb {
     pub fn deallocate(&mut self, set: usize, way: usize) {
         if self.sets[set][way].take().is_some() {
             self.stats.deallocations += 1;
+        }
+    }
+
+    /// Invalidates the entry at `(set, way)` as a *competing process*
+    /// would: from outside the core, with no false hit involved. Counts
+    /// under [`BtbStats::external_evictions`] rather than deallocations so
+    /// injected contention stays distinguishable from the attack's own
+    /// signal. Returns `true` if a valid entry was displaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set`/`way` lie outside the geometry.
+    pub fn evict_entry(&mut self, set: usize, way: usize) -> bool {
+        if self.sets[set][way].take().is_some() {
+            self.stats.external_evictions += 1;
+            true
+        } else {
+            false
         }
     }
 

@@ -3,6 +3,8 @@
 
 use nv_isa::VirtAddr;
 
+use crate::perturb::Perturbation;
+
 /// The Intel CPU generations reverse-engineered by the paper (§2.3).
 ///
 /// The generations differ, for our purposes, in one parameter: the address
@@ -181,6 +183,10 @@ pub struct UarchConfig {
     pub speculation_depth: usize,
     /// Capacity of the return stack buffer.
     pub rsb_depth: usize,
+    /// Deterministic fault injection (competing-process BTB evictions, LBR
+    /// jitter, spurious squashes). [`Perturbation::none`] — the default —
+    /// leaves the core byte-identical to one without the injector.
+    pub perturbation: Perturbation,
 }
 
 impl UarchConfig {
@@ -193,6 +199,7 @@ impl UarchConfig {
             fusion: true,
             speculation_depth: 12,
             rsb_depth: 16,
+            perturbation: Perturbation::none(),
         }
     }
 }

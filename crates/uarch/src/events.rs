@@ -26,6 +26,10 @@ pub enum SquashCause {
     BtbMissTaken,
     /// Return mispredicted by the RSB.
     RsbMismatch,
+    /// Injected spurious squash — an asynchronous preemption/interrupt
+    /// from the fault injector ([`crate::Perturbation`]), not a
+    /// misprediction of the running program.
+    SpuriousPreemption,
 }
 
 /// One logged front-end event.
@@ -69,6 +73,23 @@ pub enum FrontEndEvent {
     CorrectPrediction {
         /// Branch PC.
         at: VirtAddr,
+    },
+    /// The fault injector invalidated a BTB entry, modeling a competing
+    /// process contending for the set.
+    InjectedEviction {
+        /// Targeted set index.
+        set: usize,
+        /// Targeted way index.
+        way: usize,
+        /// Whether a valid entry was actually displaced.
+        evicted: bool,
+    },
+    /// The fault injector added measurement noise to an LBR record.
+    InjectedJitter {
+        /// PC of the recorded transfer.
+        at: VirtAddr,
+        /// Cycles added to the record's `elapsed` field.
+        cycles: u64,
     },
 }
 

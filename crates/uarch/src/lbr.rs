@@ -80,6 +80,27 @@ impl Lbr {
         });
     }
 
+    /// Like [`Lbr::record`], but adds `jitter` cycles of injected
+    /// measurement noise to the stored `elapsed` field only. The retire
+    /// cycle itself — and therefore the *next* record's baseline — stays
+    /// exact: jitter models timer/readout skew, not a slower core, so it
+    /// must not compound across records. `jitter == 0` is exactly
+    /// [`Lbr::record`].
+    pub fn record_jittered(
+        &mut self,
+        from: VirtAddr,
+        to: VirtAddr,
+        cycle: u64,
+        mispredicted: bool,
+        jitter: u64,
+    ) {
+        self.record(from, to, cycle, mispredicted);
+        if jitter > 0 {
+            let rec = self.records.back_mut().expect("record was just pushed");
+            rec.elapsed += jitter;
+        }
+    }
+
     /// Iterates over records from oldest to newest.
     pub fn iter(&self) -> impl Iterator<Item = &LbrRecord> {
         self.records.iter()
@@ -164,6 +185,25 @@ mod tests {
         // Oldest surviving record is number 100 - 32 = 68.
         assert_eq!(lbr.iter().next().unwrap().from, addr(68));
         assert_eq!(lbr.last().unwrap().from, addr(99));
+    }
+
+    #[test]
+    fn jitter_inflates_elapsed_but_not_the_baseline() {
+        let mut plain = Lbr::new();
+        plain.record(addr(1), addr(2), 100, false);
+        plain.record(addr(2), addr(3), 110, false);
+        plain.record(addr(3), addr(4), 125, false);
+
+        let mut noisy = Lbr::new();
+        noisy.record_jittered(addr(1), addr(2), 100, false, 0);
+        noisy.record_jittered(addr(2), addr(3), 110, false, 7);
+        noisy.record_jittered(addr(3), addr(4), 125, false, 0);
+
+        let plain_elapsed: Vec<u64> = plain.iter().map(|r| r.elapsed).collect();
+        let noisy_elapsed: Vec<u64> = noisy.iter().map(|r| r.elapsed).collect();
+        assert_eq!(plain_elapsed, vec![0, 10, 15]);
+        // Only the jittered record shifts; the following one is unaffected.
+        assert_eq!(noisy_elapsed, vec![0, 17, 15]);
     }
 
     #[test]

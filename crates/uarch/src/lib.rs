@@ -42,6 +42,7 @@ mod events;
 mod exec;
 mod lbr;
 mod mem;
+mod perturb;
 
 pub use btb::{BranchKind, Btb, BtbHit, BtbStats, DomainId};
 pub use config::{BtbGeometry, CpuGeneration, TimingModel, UarchConfig};
@@ -51,3 +52,4 @@ pub use events::{EventLog, FrontEndEvent, SquashCause};
 pub use exec::{execute, ArchState, ControlOutcome, ExecOutcome, MemAccess};
 pub use lbr::{Lbr, LbrRecord, LBR_DEPTH};
 pub use mem::{Bus, Memory, SpecOverlay};
+pub use perturb::Perturbation;

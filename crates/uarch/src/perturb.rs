@@ -1,0 +1,297 @@
+//! Deterministic microarchitectural fault injection.
+//!
+//! The paper's headline accuracies are measured *under noise* (99.3 % on
+//! GCD over 100 noisy runs, §7.2): real BTBs are contended by every
+//! co-tenant process, real LBR cycle counts jitter, and real attackers get
+//! preempted. This module reintroduces those effects into the otherwise
+//! perfectly quiet simulator — reproducibly, so noisy campaigns remain
+//! byte-identical for any thread count.
+//!
+//! A [`Perturbation`] describes three independent fault sources that the
+//! [`crate::Core`] consults on its architectural execution path:
+//!
+//! * **Competing-process BTB evictions** — every
+//!   [`Perturbation::eviction_interval`] cycles a uniformly random
+//!   `(set, way)` is invalidated, modeling other tenants' branches
+//!   displacing entries via LRU pressure (cf. the contention reverse
+//!   engineering in *Branch Target Buffer Reverse Engineering on Arm*);
+//! * **LBR elapsed-cycle jitter** — bounded additive noise (uniform in
+//!   `[0, jitter_amplitude]`) on every recorded
+//!   [`crate::LbrRecord::elapsed`], modeling timer and retirement skew;
+//! * **Spurious squash/preemption events** — with probability
+//!   [`Perturbation::squash_per_million`] ppm per retirement unit the
+//!   pipeline takes an unprovoked full squash (an interrupt arriving
+//!   mid-measurement), charging the squash penalty and discarding the
+//!   active prediction window.
+//!
+//! All draws come from one `nv_rand` stream seeded by
+//! [`Perturbation::seed`]; a given `(seed, knobs)` pair replays the exact
+//! same fault sequence. Probabilities are fixed-point (parts per million)
+//! rather than `f64` so the config stays `Eq`/`Hash`-friendly and no
+//! float-rounding divergence can creep into campaign comparisons.
+//!
+//! [`Perturbation::none`] — the default — injects nothing, draws nothing,
+//! and leaves every cycle count and event log byte-identical to a core
+//! without the module (pinned by tests here and by the repro binaries'
+//! `cmp` checks).
+
+use nv_rand::Rng;
+
+use crate::config::BtbGeometry;
+
+/// Fault-injection configuration. See the [module docs](self) for the
+/// model behind each knob.
+///
+/// # Examples
+///
+/// ```
+/// use nv_uarch::{Perturbation, UarchConfig};
+///
+/// let mut config = UarchConfig::default();
+/// assert_eq!(config.perturbation, Perturbation::none());
+/// config.perturbation = Perturbation {
+///     seed: 7,
+///     eviction_interval: 500,
+///     jitter_amplitude: 4,
+///     squash_per_million: 1_000,
+/// };
+/// assert!(!config.perturbation.is_quiet());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Perturbation {
+    /// Seed of the injector's private `nv_rand` stream. Campaigns derive
+    /// this per trial (from the trial's child stream), never from ambient
+    /// state, so results stay byte-identical across `--threads` values.
+    pub seed: u64,
+    /// Cycles between competing-process BTB evictions (`0` = disabled).
+    /// Each firing invalidates one uniformly random `(set, way)`.
+    pub eviction_interval: u64,
+    /// Maximum additive noise on [`crate::LbrRecord::elapsed`], in cycles
+    /// (`0` = disabled). Each record gains a uniform draw from
+    /// `[0, jitter_amplitude]`.
+    pub jitter_amplitude: u64,
+    /// Probability of a spurious squash per retirement unit, in parts per
+    /// million (`0` = disabled).
+    pub squash_per_million: u32,
+}
+
+impl Perturbation {
+    /// No injection at all: the deterministic simulator as-is. The
+    /// injector is not even instantiated, so no RNG draws happen and all
+    /// outputs are byte-identical to a core predating this module.
+    pub const fn none() -> Self {
+        Perturbation {
+            seed: 0,
+            eviction_interval: 0,
+            jitter_amplitude: 0,
+            squash_per_million: 0,
+        }
+    }
+
+    /// Noise calibrated to the paper's evaluation environment (§7.1–§7.2):
+    /// moderate cross-tenant BTB pressure, a few cycles of timer jitter
+    /// and occasional preemptions. Under this model single-shot probing
+    /// degrades visibly while 5-vote robust probing holds ≥ 95 % NV-Core
+    /// accuracy (see `repro_noise_sweep`).
+    pub const fn paper_calibrated(seed: u64) -> Self {
+        Perturbation {
+            seed,
+            eviction_interval: 900,
+            jitter_amplitude: 5,
+            squash_per_million: 1_000,
+        }
+    }
+
+    /// `true` if every knob is off (no injector state is created).
+    pub const fn is_quiet(&self) -> bool {
+        self.eviction_interval == 0 && self.jitter_amplitude == 0 && self.squash_per_million == 0
+    }
+}
+
+impl Default for Perturbation {
+    /// [`Perturbation::none`].
+    fn default() -> Self {
+        Perturbation::none()
+    }
+}
+
+/// Live injector state owned by a [`crate::Core`]. Exists only when the
+/// configured [`Perturbation`] is not quiet, so the quiet path costs
+/// nothing and draws nothing.
+#[derive(Clone, Debug)]
+pub(crate) struct PerturbState {
+    config: Perturbation,
+    rng: Rng,
+    /// Core cycle at which the next competing-process eviction fires.
+    next_eviction_cycle: u64,
+}
+
+impl PerturbState {
+    /// Builds the injector, or `None` for a quiet configuration.
+    pub(crate) fn from_config(config: Perturbation) -> Option<PerturbState> {
+        if config.is_quiet() {
+            return None;
+        }
+        Some(PerturbState {
+            config,
+            rng: Rng::seed_from_u64(config.seed),
+            next_eviction_cycle: config.eviction_interval,
+        })
+    }
+
+    /// Draws the `(set, way)` victims of every competing-process eviction
+    /// due by `cycle`. Advances the schedule; returns an empty vector when
+    /// evictions are disabled or none are due.
+    pub(crate) fn due_evictions(
+        &mut self,
+        cycle: u64,
+        geometry: &BtbGeometry,
+    ) -> Vec<(usize, usize)> {
+        if self.config.eviction_interval == 0 {
+            return Vec::new();
+        }
+        let mut due = Vec::new();
+        while cycle >= self.next_eviction_cycle {
+            let set = self.rng.gen_range(0..geometry.sets);
+            let way = self.rng.gen_range(0..geometry.ways);
+            due.push((set, way));
+            self.next_eviction_cycle += self.config.eviction_interval;
+        }
+        due
+    }
+
+    /// `true` if a spurious squash fires for the current retirement unit.
+    pub(crate) fn spurious_squash(&mut self) -> bool {
+        if self.config.squash_per_million == 0 {
+            return false;
+        }
+        self.rng.gen_range(0..1_000_000u32) < self.config.squash_per_million
+    }
+
+    /// The jitter to add to the next LBR record's elapsed field.
+    pub(crate) fn draw_jitter(&mut self) -> u64 {
+        if self.config.jitter_amplitude == 0 {
+            return 0;
+        }
+        self.rng.gen_range(0..=self.config.jitter_amplitude)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_config_creates_no_state() {
+        assert!(Perturbation::none().is_quiet());
+        assert!(Perturbation::default().is_quiet());
+        assert!(PerturbState::from_config(Perturbation::none()).is_none());
+        // Seed alone does not make a config noisy.
+        assert!(Perturbation {
+            seed: 99,
+            ..Perturbation::none()
+        }
+        .is_quiet());
+    }
+
+    #[test]
+    fn paper_calibrated_is_noisy_and_seeded() {
+        let p = Perturbation::paper_calibrated(3);
+        assert!(!p.is_quiet());
+        assert_eq!(p.seed, 3);
+        assert!(PerturbState::from_config(p).is_some());
+    }
+
+    #[test]
+    fn eviction_schedule_is_paced_and_deterministic() {
+        let config = Perturbation {
+            seed: 1,
+            eviction_interval: 100,
+            jitter_amplitude: 0,
+            squash_per_million: 0,
+        };
+        let geometry = BtbGeometry::default();
+        let run = || {
+            let mut state = PerturbState::from_config(config).unwrap();
+            assert!(state.due_evictions(99, &geometry).is_empty());
+            let first = state.due_evictions(100, &geometry);
+            assert_eq!(first.len(), 1);
+            // A large cycle jump fires every missed interval.
+            let burst = state.due_evictions(450, &geometry);
+            assert_eq!(burst.len(), 3);
+            (first, burst)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn eviction_targets_stay_in_geometry() {
+        let config = Perturbation {
+            seed: 42,
+            eviction_interval: 10,
+            jitter_amplitude: 0,
+            squash_per_million: 0,
+        };
+        let geometry = BtbGeometry::default();
+        let mut state = PerturbState::from_config(config).unwrap();
+        for (set, way) in state.due_evictions(10_000, &geometry) {
+            assert!(set < geometry.sets);
+            assert!(way < geometry.ways);
+        }
+    }
+
+    #[test]
+    fn jitter_is_bounded() {
+        let config = Perturbation {
+            seed: 5,
+            eviction_interval: 0,
+            jitter_amplitude: 7,
+            squash_per_million: 0,
+        };
+        let mut state = PerturbState::from_config(config).unwrap();
+        let draws: Vec<u64> = (0..200).map(|_| state.draw_jitter()).collect();
+        assert!(draws.iter().all(|&j| j <= 7));
+        assert!(draws.iter().any(|&j| j > 0), "jitter never fired");
+    }
+
+    #[test]
+    fn spurious_squash_rate_is_plausible() {
+        let config = Perturbation {
+            seed: 9,
+            eviction_interval: 0,
+            jitter_amplitude: 0,
+            squash_per_million: 100_000, // 10 %
+        };
+        let mut state = PerturbState::from_config(config).unwrap();
+        let fired = (0..10_000).filter(|_| state.spurious_squash()).count();
+        assert!((500..2_000).contains(&fired), "{fired} of 10000 at 10 %");
+    }
+
+    #[test]
+    fn disabled_knobs_consume_no_draws() {
+        // With only evictions enabled, jitter and squash must not touch
+        // the RNG: toggling an unrelated knob from zero cannot shift the
+        // eviction sequence.
+        let config = Perturbation {
+            seed: 11,
+            eviction_interval: 50,
+            jitter_amplitude: 0,
+            squash_per_million: 0,
+        };
+        let geometry = BtbGeometry::default();
+        let mut a = PerturbState::from_config(config).unwrap();
+        let mut b = PerturbState::from_config(config).unwrap();
+        // Interleave no-op draws on `b`.
+        let seq_a: Vec<_> = (1..=20)
+            .map(|i| a.due_evictions(i * 50, &geometry))
+            .collect();
+        let seq_b: Vec<_> = (1..=20)
+            .map(|i| {
+                assert_eq!(b.draw_jitter(), 0);
+                assert!(!b.spurious_squash());
+                b.due_evictions(i * 50, &geometry)
+            })
+            .collect();
+        assert_eq!(seq_a, seq_b);
+    }
+}

@@ -7,7 +7,8 @@ use nightvision::campaign::Campaign;
 use nightvision::{NoiseModel, NvUser};
 use nv_os::System;
 use nv_rand::Rng;
-use nv_uarch::{BtbStats, UarchConfig};
+use nv_uarch::{BtbStats, Core, Machine, Perturbation, UarchConfig};
+use nv_victims::compile::{compile_gcd, CompileOptions};
 use nv_victims::{GcdVictim, VictimConfig};
 
 const TRIALS: usize = 6;
@@ -61,6 +62,65 @@ fn merged_results_are_identical_across_thread_counts() {
             gcd_campaign(threads),
             "diverged at {threads} threads"
         );
+    }
+}
+
+#[test]
+fn perturbed_trials_replay_from_their_seeds() {
+    // A fault-injected simulation is still a pure function of
+    // (master seed, trial index): the injector's seed is drawn from the
+    // trial's child stream, so the injected eviction/jitter/squash
+    // sequence — visible through cycle counts and the new
+    // `external_evictions` counter — merges identically for any thread
+    // count and replays from a re-derived stream.
+    let noisy_trial = |mut rng: Rng| {
+        let image = compile_gcd(
+            &CompileOptions::default(),
+            nv_isa::VirtAddr::new(0x40_0000),
+            rng.gen_range(3u64..=u32::MAX as u64) | 1,
+            65537,
+        )
+        .unwrap();
+        let mut core = Core::new(UarchConfig {
+            perturbation: Perturbation {
+                seed: rng.next_u64(),
+                eviction_interval: 5,
+                jitter_amplitude: 4,
+                squash_per_million: 2_000,
+            },
+            ..UarchConfig::default()
+        });
+        let mut machine = Machine::new(image.program().clone());
+        core.run(&mut machine, 1_000_000);
+        let mut quiet_core = Core::new(UarchConfig::default());
+        let mut quiet_machine = Machine::new(image.program().clone());
+        quiet_core.run(&mut quiet_machine, 1_000_000);
+        (
+            core.cycle(),
+            quiet_core.cycle(),
+            core.btb().stats().external_evictions,
+        )
+    };
+    let campaign = |threads: usize| -> Vec<(u64, u64, u64)> {
+        Campaign::new(TRIALS)
+            .master_seed(MASTER_SEED ^ 0x7e57)
+            .threads(threads)
+            .run(|trial| noisy_trial(trial.rng))
+    };
+    let serial = campaign(1);
+    // The injected squashes/resteers must actually cost cycles somewhere
+    // (random BTB evictions mostly land on empty slots, so the cycle
+    // delta — not the eviction counter — is the reliable firing signal).
+    assert!(
+        serial.iter().any(|&(noisy, quiet, _)| noisy > quiet),
+        "injector never fired: {serial:?}"
+    );
+    for threads in [2, 8] {
+        assert_eq!(serial, campaign(threads), "diverged at {threads} threads");
+    }
+    for (index, &expected) in serial.iter().enumerate() {
+        let replayed = noisy_trial(Rng::stream(MASTER_SEED ^ 0x7e57, index as u64));
+        assert_eq!(replayed, expected, "trial {index} did not replay");
     }
 }
 

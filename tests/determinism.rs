@@ -3,10 +3,11 @@
 //! bit-for-bit.
 
 use nightvision::{NoiseModel, NvSupervisor, NvUser};
+use nv_bench::noise::run_sweep;
 use nv_corpus::{generate, CorpusConfig};
 use nv_isa::VirtAddr;
 use nv_os::{Enclave, System};
-use nv_uarch::{Core, Machine, UarchConfig};
+use nv_uarch::{Core, Machine, Perturbation, UarchConfig};
 use nv_victims::compile::{compile_gcd, CompileOptions};
 use nv_victims::{GcdVictim, RsaKeygen, VictimConfig};
 
@@ -65,6 +66,57 @@ fn noisy_nv_u_is_seed_deterministic() {
         (1..40).any(|seed| attack(seed) != base),
         "noise model never fired across 40 seeds"
     );
+}
+
+#[test]
+fn noise_sweep_is_identical_across_thread_counts() {
+    // The fault injector's seeds come from per-trial child streams, so
+    // the whole eviction × jitter sweep — injected faults and all — is a
+    // pure function of its master seed. This is the `repro_noise_sweep`
+    // determinism contract at test scale.
+    let serial = run_sweep(3, 1).to_json();
+    for threads in [2, 8] {
+        assert_eq!(
+            serial,
+            run_sweep(3, threads).to_json(),
+            "noise sweep diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn quiet_perturbation_leaves_simulation_byte_identical() {
+    // `Perturbation::none()` must not merely inject nothing: it must make
+    // the core bit-indistinguishable from one that predates the injector,
+    // even after noisy state is torn down via `set_perturbation`.
+    let image = compile_gcd(
+        &CompileOptions::default(),
+        VirtAddr::new(0x40_0000),
+        0xabc_def,
+        65537,
+    )
+    .unwrap();
+    let run = |core: &mut Core| {
+        let mut machine = Machine::new(image.program().clone());
+        core.run(&mut machine, 1_000_000);
+        (
+            core.cycle(),
+            core.stats(),
+            machine.state().reg(nv_isa::Reg::R0),
+        )
+    };
+    let baseline = run(&mut Core::new(UarchConfig::default()));
+    let mut explicit_none = Core::new(UarchConfig {
+        perturbation: Perturbation::none(),
+        ..UarchConfig::default()
+    });
+    assert_eq!(run(&mut explicit_none), baseline);
+    let mut reset_to_none = Core::new(UarchConfig {
+        perturbation: Perturbation::paper_calibrated(77),
+        ..UarchConfig::default()
+    });
+    reset_to_none.set_perturbation(Perturbation::none());
+    assert_eq!(run(&mut reset_to_none), baseline);
 }
 
 #[test]
