@@ -13,6 +13,7 @@
 //! | `repro_fig13` | Figure 13 — version / optimization robustness |
 //! | `repro_fusion_ablation` | §7.3 — macro-fusion and speculation ablations |
 //! | `repro_ibrs` | §4.1 — IBRS/IBPB ineffectiveness |
+//! | `repro_obs_profile` | observability profile: NV-S phase breakdown, campaign metrics, disabled-overhead ≤ 2 % |
 //!
 //! The library half holds the shared experiment plumbing so the binaries
 //! stay declarative.
@@ -23,6 +24,7 @@
 pub mod experiments;
 pub mod microbench;
 pub mod noise;
+pub mod obs_profile;
 
 use std::collections::BTreeSet;
 

@@ -33,8 +33,10 @@
 //! assert_eq!(sums, serial);
 //! ```
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
+use nv_obs::{Metrics, Phase, Recorder};
 use nv_rand::Rng;
 
 /// One trial's execution context: its index within the campaign and its
@@ -98,8 +100,12 @@ impl Campaign {
     ///
     /// # Panics
     ///
-    /// Propagates panics from trial closures (the first panicking worker
-    /// aborts the campaign).
+    /// Propagates panics from trial closures: the first panicking trial
+    /// aborts the campaign — the remaining workers stop claiming new
+    /// trials — and the trial's **original panic payload** is re-raised
+    /// on the calling thread with [`std::panic::resume_unwind`], so
+    /// `catch_unwind` callers and test harnesses see the real message,
+    /// not a generic join failure.
     pub fn run<T, F>(&self, trial_fn: F) -> Vec<T>
     where
         T: Send,
@@ -115,40 +121,102 @@ impl Campaign {
         }
 
         let next = AtomicUsize::new(0);
+        let abort = AtomicBool::new(false);
         let workers = self.threads.min(self.trials);
         // Each worker accumulates `(index, result)` pairs privately — no
         // shared lock on the result path — and the pairs are merged into
-        // index order after the joins.
+        // index order after the joins. A panicking trial is caught in the
+        // worker (`AssertUnwindSafe` is sound here: the panicked trial's
+        // state is abandoned and the payload is re-raised below, so no
+        // broken invariant is ever observed), raises the abort flag, and
+        // hands its payload back through the join.
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|| {
                         let mut completed = Vec::new();
                         loop {
+                            if abort.load(Ordering::SeqCst) {
+                                break;
+                            }
                             let index = next.fetch_add(1, Ordering::Relaxed);
                             if index >= self.trials {
                                 break;
                             }
-                            completed.push((index, trial_fn(make_trial(index))));
+                            match catch_unwind(AssertUnwindSafe(|| trial_fn(make_trial(index)))) {
+                                Ok(result) => completed.push((index, result)),
+                                Err(payload) => {
+                                    abort.store(true, Ordering::SeqCst);
+                                    return Err(payload);
+                                }
+                            }
                         }
-                        completed
+                        Ok(completed)
                     })
                 })
                 .collect();
             let mut slots: Vec<Option<T>> = (0..self.trials).map(|_| None).collect();
+            let mut first_panic = None;
             for handle in handles {
-                let completed = handle
+                match handle
                     .join()
-                    .expect("campaign worker panicked while running a trial");
-                for (index, result) in completed {
-                    slots[index] = Some(result);
+                    .expect("campaign worker died outside a trial closure")
+                {
+                    Ok(completed) => {
+                        for (index, result) in completed {
+                            slots[index] = Some(result);
+                        }
+                    }
+                    Err(payload) => {
+                        if first_panic.is_none() {
+                            first_panic = Some(payload);
+                        }
+                    }
                 }
+            }
+            if let Some(payload) = first_panic {
+                resume_unwind(payload);
             }
             slots
                 .into_iter()
                 .map(|slot| slot.expect("every trial index was claimed"))
                 .collect()
         })
+    }
+
+    /// Runs the campaign with a per-trial observability [`Recorder`] and
+    /// returns the per-trial results (in trial-index order) alongside the
+    /// aggregated [`Metrics`].
+    ///
+    /// Every trial gets a fresh recorder with `event_capacity` retained
+    /// event records, pre-opened on a [`Phase::Trial`] span; the closure
+    /// reports into it (typically by attaching it to a `Core` for the
+    /// trial's duration). Per-trial metrics are merged **in trial-index
+    /// order**, so — like [`Campaign::run`] itself — the aggregate is
+    /// byte-identical for any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Propagates trial panics exactly like [`Campaign::run`].
+    pub fn run_observed<T, F>(&self, event_capacity: usize, trial_fn: F) -> (Vec<T>, Metrics)
+    where
+        T: Send,
+        F: Fn(Trial, &mut Recorder) -> T + Sync,
+    {
+        let observed = self.run(|trial| {
+            let mut recorder = Recorder::new(event_capacity);
+            recorder.enter(Phase::Trial, 0);
+            let result = trial_fn(trial, &mut recorder);
+            recorder.finish();
+            (result, recorder.metrics())
+        });
+        let mut metrics = Metrics::default();
+        let mut results = Vec::with_capacity(observed.len());
+        for (result, trial_metrics) in observed {
+            metrics.merge(&trial_metrics);
+            results.push(result);
+        }
+        (results, metrics)
     }
 
     /// Runs the campaign and folds the per-trial results in trial-index
@@ -230,5 +298,109 @@ mod tests {
     #[test]
     fn more_threads_than_trials() {
         assert_eq!(Campaign::new(2).threads(64).run(|t| t.index), vec![0, 1]);
+    }
+
+    #[test]
+    fn panic_payload_survives_across_workers() {
+        // The original panic message — not a generic join-failure string —
+        // must reach the caller (the `.expect` it replaces destroyed it).
+        let result = std::panic::catch_unwind(|| {
+            Campaign::new(16).threads(4).run(|t| {
+                if t.index == 3 {
+                    panic!("trial 3 exploded with code 0x2a");
+                }
+                t.index
+            })
+        });
+        let payload = result.expect_err("campaign must propagate the panic");
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .expect("payload is a panic message");
+        assert_eq!(message, "trial 3 exploded with code 0x2a");
+    }
+
+    #[test]
+    fn panic_payload_survives_on_the_serial_path() {
+        let result = std::panic::catch_unwind(|| {
+            Campaign::new(4).run(|t| {
+                if t.index == 2 {
+                    panic!("serial trial 2 exploded");
+                }
+                t.index
+            })
+        });
+        let payload = result.expect_err("campaign must propagate the panic");
+        assert_eq!(
+            payload.downcast_ref::<&str>().copied(),
+            Some("serial trial 2 exploded")
+        );
+    }
+
+    #[test]
+    fn panicking_trial_aborts_instead_of_draining_the_queue() {
+        use std::sync::atomic::AtomicUsize;
+        // Trial 0 panics immediately; every other trial sleeps, so workers
+        // check the abort flag between trials. Without the flag the pool
+        // would drain all remaining trials; with it, each worker finishes
+        // at most the trial it was already running.
+        let completed = AtomicUsize::new(0);
+        let trials = 64;
+        let result = std::panic::catch_unwind(|| {
+            Campaign::new(trials).threads(4).run(|t| {
+                if t.index == 0 {
+                    panic!("abort the campaign");
+                }
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                completed.fetch_add(1, Ordering::SeqCst);
+            })
+        });
+        assert!(result.is_err());
+        let drained = completed.load(Ordering::SeqCst);
+        assert!(
+            drained < trials / 2,
+            "abort flag must stop the queue from draining: {drained}/{trials} trials ran"
+        );
+    }
+
+    #[test]
+    fn run_observed_merges_metrics_in_index_order_at_any_thread_count() {
+        use nv_obs::ObsEvent;
+        let observed = |threads: usize| {
+            Campaign::new(12)
+                .master_seed(9)
+                .threads(threads)
+                .run_observed(64, |mut trial, recorder| {
+                    let spins = 1 + trial.rng.gen_range(0..5u64);
+                    for i in 0..spins {
+                        recorder.event(
+                            i * 10,
+                            ObsEvent::BtbAllocate {
+                                pc: trial.index as u64,
+                                target: i,
+                            },
+                        );
+                    }
+                    spins
+                })
+        };
+        let (base_results, base_metrics) = observed(1);
+        for threads in [2, 8] {
+            let (results, metrics) = observed(threads);
+            assert_eq!(base_results, results, "results diverged at {threads}");
+            assert_eq!(
+                base_metrics.to_json(),
+                metrics.to_json(),
+                "metrics diverged at {threads} threads"
+            );
+        }
+        assert_eq!(base_metrics.trials, 12);
+        assert_eq!(
+            base_metrics.count(nv_obs::EventKind::BtbAllocate),
+            base_results.iter().sum::<u64>()
+        );
+        // Every trial's recorder opened a Trial span; finish() closed it.
+        assert_eq!(base_metrics.phase(Phase::Trial).unwrap().count, 12);
     }
 }

@@ -30,6 +30,14 @@
 //!   Prime+Probe trials out across worker threads with per-trial
 //!   `nv_rand` child streams, merging results in trial-index order so
 //!   aggregates are byte-identical for any thread count.
+//!
+//! Every attack layer is instrumented for the [`nv_obs`] observability
+//! crate: attach a recorder to the `Core` (`Core::attach_obs`) and the
+//! rig/NV-Core/NV-U/NV-S paths report calibrate/prime/probe/vote/retry
+//! and victim-fragment spans plus typed µarch events into it;
+//! `campaign::Campaign::run_observed` aggregates per-trial metrics
+//! deterministically. With no recorder attached, every path is
+//! byte-identical to the uninstrumented build.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,5 +1,6 @@
 //! NV-Core: the BTB Prime+Probe primitive of §4.1.
 
+use nv_obs::Phase;
 use nv_uarch::Core;
 
 use crate::error::AttackError;
@@ -100,9 +101,14 @@ impl NvCore {
     where
         F: FnMut(&mut Core),
     {
+        core.obs_enter(Phase::VictimFragment);
         fragment(core);
-        self.rig
-            .probe_robust(core, self.resilience, |core| fragment(core))
+        core.obs_exit(Phase::VictimFragment);
+        self.rig.probe_robust(core, self.resilience, |core| {
+            core.obs_enter(Phase::VictimFragment);
+            fragment(core);
+            core.obs_exit(Phase::VictimFragment);
+        })
     }
 
     /// Direct access to the underlying rig.

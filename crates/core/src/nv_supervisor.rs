@@ -17,6 +17,7 @@
 //!    exploits the lookup's `offset ≥ PC` lower bound (Takeaway 2).
 
 use nv_isa::{VirtAddr, BLOCK_BYTES, PAGE_BYTES};
+use nv_obs::Phase;
 use nv_os::{Enclave, StepExit};
 use nv_uarch::Core;
 
@@ -177,7 +178,10 @@ impl NvSupervisor {
         core: &mut Core,
     ) -> Result<ExtractedTrace, AttackError> {
         // Reconnaissance run: page numbers, data accesses, step count.
-        let mut steps = self.reconnaissance(enclave, core)?;
+        core.obs_enter(Phase::Custom("recon"));
+        let recon = self.reconnaissance(enclave, core);
+        core.obs_exit(Phase::Custom("recon"));
+        let mut steps = recon?;
 
         // Pass 1 (Fig. 10): sweep 128 disjoint 32-byte windows, N per run.
         // N is capped by the LBR budget (two records per window per probe).
@@ -192,7 +196,10 @@ impl NvSupervisor {
             let offsets: Vec<u64> = (group..group + count)
                 .map(|w| w as u64 * BLOCK_BYTES)
                 .collect();
-            self.window_sweep_run(enclave, core, &mut steps, &offsets)?;
+            core.obs_enter(Phase::Custom("extraction_run"));
+            let sweep = self.window_sweep_run(enclave, core, &mut steps, &offsets);
+            core.obs_exit(Phase::Custom("extraction_run"));
+            sweep?;
             group += count;
         }
         for state in &mut steps {
@@ -210,12 +217,18 @@ impl NvSupervisor {
         // 2-byte interval (one run per halving).
         let halvings = (BLOCK_BYTES as f64).log2() as u32 - 1; // 32 -> 2
         for _ in 0..halvings {
-            self.refine_run(enclave, core, &mut steps)?;
+            core.obs_enter(Phase::Custom("extraction_run"));
+            let refine = self.refine_run(enclave, core, &mut steps);
+            core.obs_exit(Phase::Custom("extraction_run"));
+            refine?;
         }
 
         // Final run: disambiguate the two remaining candidate bytes using
         // the lookup lower bound.
-        self.final_byte_run(enclave, core, &mut steps)?;
+        core.obs_enter(Phase::Custom("extraction_run"));
+        let last = self.final_byte_run(enclave, core, &mut steps);
+        core.obs_exit(Phase::Custom("extraction_run"));
+        last?;
 
         let mut measurements: Vec<StepMeasurement> = steps
             .into_iter()

@@ -9,6 +9,7 @@
 //! Monitoring both sides also detects excessive preemptions: slices where
 //! neither side ran (§5.2).
 
+use nv_obs::Phase;
 use nv_rand::Rng;
 
 use nv_os::{Pid, RunOutcome, System};
@@ -240,7 +241,10 @@ impl NvUser {
                 let reading = self.measure(system)?;
                 readings.push(reading);
             }
-            match system.run(victim, 1_000_000) {
+            system.core_mut().obs_enter(Phase::VictimFragment);
+            let outcome = system.run(victim, 1_000_000);
+            system.core_mut().obs_exit(Phase::VictimFragment);
+            match outcome {
                 RunOutcome::Yielded => {
                     let reading = self.measure(system)?;
                     readings.push(reading);

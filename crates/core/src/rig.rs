@@ -10,6 +10,7 @@
 //! of the *following* LBR record — the §2.3 measurement.
 
 use nv_isa::{Assembler, Program, VirtAddr};
+use nv_obs::Phase;
 use nv_uarch::{Core, Machine, RunExit, LBR_DEPTH};
 
 use crate::error::{AttackError, ProbeFailureCause};
@@ -298,7 +299,10 @@ impl AttackerRig {
     ///
     /// Returns [`AttackError::ProbeFailed`] if the chain did not complete.
     pub fn prime(&mut self, core: &mut Core) -> Result<(), AttackError> {
-        self.run_chain(core)
+        core.obs_enter(Phase::Prime);
+        let result = self.run_chain(core);
+        core.obs_exit(Phase::Prime);
+        result
     }
 
     /// Calibrates the no-victim baseline: primes, then samples
@@ -330,6 +334,13 @@ impl AttackerRig {
     /// Panics if `passes` is zero.
     pub fn calibrate_with(&mut self, core: &mut Core, passes: usize) -> Result<(), AttackError> {
         assert!(passes > 0, "calibration needs at least one pass");
+        core.obs_enter(Phase::Calibrate);
+        let result = self.calibrate_with_inner(core, passes);
+        core.obs_exit(Phase::Calibrate);
+        result
+    }
+
+    fn calibrate_with_inner(&mut self, core: &mut Core, passes: usize) -> Result<(), AttackError> {
         self.run_chain(core)?; // prime
         let mut own_samples = vec![Vec::with_capacity(passes); self.pws.len()];
         let mut next_samples = vec![Vec::with_capacity(passes); self.pws.len()];
@@ -369,6 +380,13 @@ impl AttackerRig {
     ///   [`AttackerRig::calibrate`] first;
     /// * [`AttackError::ProbeFailed`] — the chain did not complete.
     pub fn probe(&mut self, core: &mut Core) -> Result<Vec<bool>, AttackError> {
+        core.obs_enter(Phase::Probe);
+        let result = self.probe_inner(core);
+        core.obs_exit(Phase::Probe);
+        result
+    }
+
+    fn probe_inner(&mut self, core: &mut Core) -> Result<Vec<bool>, AttackError> {
         let baseline = self.baseline.clone().ok_or(AttackError::NotCalibrated)?;
         let elapsed = self.measured_pass(core)?;
         Ok(elapsed
@@ -420,6 +438,7 @@ impl AttackerRig {
             if vote > 0 {
                 replay(core);
             }
+            core.obs_enter(Phase::Vote);
             loop {
                 match self.probe(core) {
                     Ok(matches) => {
@@ -430,6 +449,7 @@ impl AttackerRig {
                     }
                     Err(AttackError::ProbeFailed { cause, .. }) => {
                         if retries_left == 0 {
+                            core.obs_exit(Phase::Vote);
                             return Err(AttackError::RetriesExhausted {
                                 retries: retries_used,
                                 last: cause,
@@ -440,12 +460,18 @@ impl AttackerRig {
                         // Recover: re-prime (a failure here surfaces via
                         // the retried probe) and replay the victim so the
                         // disturbance the failed pass consumed is back.
+                        core.obs_enter(Phase::Retry);
                         let _ = self.prime(core);
                         replay(core);
+                        core.obs_exit(Phase::Retry);
                     }
-                    Err(other) => return Err(other),
+                    Err(other) => {
+                        core.obs_exit(Phase::Vote);
+                        return Err(other);
+                    }
                 }
             }
+            core.obs_exit(Phase::Vote);
         }
         Ok(counts
             .into_iter()

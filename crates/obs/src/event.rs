@@ -1,0 +1,302 @@
+//! The typed event model: what the instrumented layers report.
+//!
+//! Events generalize `nv_uarch::events::FrontEndEvent` (the bounded debug
+//! log that tests assert against) into a form the whole stack can share:
+//! plain `u64` addresses instead of `VirtAddr` (so this crate sits below
+//! every other crate in the workspace), a stable [`EventKind`] index for
+//! O(1) counting, and per-event argument rendering for the Chrome-trace
+//! exporter.
+
+/// One observable microarchitectural or injected event.
+///
+/// Addresses are raw `u64` virtual addresses; producers convert from
+/// their own address types at the emission site.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ObsEvent {
+    /// A taken transfer allocated (or refreshed) a BTB entry.
+    BtbAllocate {
+        /// PC of the allocating transfer.
+        pc: u64,
+        /// Its target.
+        target: u64,
+    },
+    /// A BTB entry was deallocated after a false hit.
+    BtbDeallocate {
+        /// The dead entry's branch PC (tag-aliased view of the fetcher).
+        pc: u64,
+        /// Whether the triggering instruction was speculative.
+        speculative: bool,
+    },
+    /// A BTB lookup false-hit: the predicted location decoded to a
+    /// non-transfer instruction or fell mid-instruction (Takeaway 1).
+    BtbFalseHit {
+        /// Fetch PC at which the false hit materialized.
+        pc: u64,
+        /// `true` if the predicted byte fell inside an instruction,
+        /// `false` if a non-transfer instruction ended there.
+        mid_instruction: bool,
+    },
+    /// A BTB entry was evicted by the fault injector or a competing
+    /// process model (not by the predictor's own replacement).
+    BtbEvict {
+        /// Targeted set index.
+        set: u32,
+        /// Targeted way index.
+        way: u32,
+        /// Whether a valid entry was actually displaced.
+        displaced: bool,
+    },
+    /// A taken control transfer retired and was recorded in the LBR.
+    LbrRecord {
+        /// PC of the retired transfer.
+        from: u64,
+        /// Its target.
+        to: u64,
+        /// The record's elapsed-cycles field (after any injected jitter).
+        elapsed: u64,
+        /// Whether the transfer was mispredicted.
+        mispredicted: bool,
+    },
+    /// The LBR elapsed-cycle computation clamped a non-monotone delta to
+    /// the 1-cycle floor instead of silently saturating to zero.
+    LbrClamped {
+        /// PC of the affected record.
+        from: u64,
+        /// How far backwards the retire cycle stepped.
+        shortfall: u64,
+    },
+    /// The pipeline squashed (misprediction, false hit, RSB mismatch).
+    Squash {
+        /// PC of the offending instruction.
+        pc: u64,
+        /// Stable cause label (mirrors `nv_uarch::SquashCause` variants).
+        cause: &'static str,
+        /// Penalty charged, in cycles.
+        penalty: u64,
+    },
+    /// Decode resteered fetch for a direct unconditional transfer the BTB
+    /// missed — the cheap front-end redirect, not a full squash.
+    Resteer {
+        /// PC of the resteering transfer.
+        pc: u64,
+        /// Resolved target.
+        target: u64,
+        /// Penalty charged, in cycles.
+        penalty: u64,
+    },
+    /// The fault injector added measurement jitter to an LBR record.
+    InjectedJitter {
+        /// PC of the jittered record.
+        pc: u64,
+        /// Cycles added to the record's elapsed field.
+        cycles: u64,
+    },
+    /// The fault injector raised a spurious preemption squash.
+    InjectedSquash {
+        /// PC the preemption interrupted.
+        pc: u64,
+        /// Penalty charged, in cycles.
+        penalty: u64,
+    },
+}
+
+/// The event's kind — a dense index for counter arrays and a stable name
+/// for exporters.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum EventKind {
+    /// [`ObsEvent::BtbAllocate`].
+    BtbAllocate,
+    /// [`ObsEvent::BtbDeallocate`].
+    BtbDeallocate,
+    /// [`ObsEvent::BtbFalseHit`].
+    BtbFalseHit,
+    /// [`ObsEvent::BtbEvict`].
+    BtbEvict,
+    /// [`ObsEvent::LbrRecord`].
+    LbrRecord,
+    /// [`ObsEvent::LbrClamped`].
+    LbrClamped,
+    /// [`ObsEvent::Squash`].
+    Squash,
+    /// [`ObsEvent::Resteer`].
+    Resteer,
+    /// [`ObsEvent::InjectedJitter`].
+    InjectedJitter,
+    /// [`ObsEvent::InjectedSquash`].
+    InjectedSquash,
+}
+
+impl EventKind {
+    /// Number of kinds (the counter-array length).
+    pub const COUNT: usize = 10;
+
+    /// Every kind, in counter order.
+    pub const ALL: [EventKind; EventKind::COUNT] = [
+        EventKind::BtbAllocate,
+        EventKind::BtbDeallocate,
+        EventKind::BtbFalseHit,
+        EventKind::BtbEvict,
+        EventKind::LbrRecord,
+        EventKind::LbrClamped,
+        EventKind::Squash,
+        EventKind::Resteer,
+        EventKind::InjectedJitter,
+        EventKind::InjectedSquash,
+    ];
+
+    /// Dense index in `0..COUNT`.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case name used in metrics JSON and Chrome traces.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::BtbAllocate => "btb_allocate",
+            EventKind::BtbDeallocate => "btb_deallocate",
+            EventKind::BtbFalseHit => "btb_false_hit",
+            EventKind::BtbEvict => "btb_evict",
+            EventKind::LbrRecord => "lbr_record",
+            EventKind::LbrClamped => "lbr_clamped",
+            EventKind::Squash => "squash",
+            EventKind::Resteer => "resteer",
+            EventKind::InjectedJitter => "injected_jitter",
+            EventKind::InjectedSquash => "injected_squash",
+        }
+    }
+}
+
+impl ObsEvent {
+    /// The event's [`EventKind`].
+    pub fn kind(&self) -> EventKind {
+        match self {
+            ObsEvent::BtbAllocate { .. } => EventKind::BtbAllocate,
+            ObsEvent::BtbDeallocate { .. } => EventKind::BtbDeallocate,
+            ObsEvent::BtbFalseHit { .. } => EventKind::BtbFalseHit,
+            ObsEvent::BtbEvict { .. } => EventKind::BtbEvict,
+            ObsEvent::LbrRecord { .. } => EventKind::LbrRecord,
+            ObsEvent::LbrClamped { .. } => EventKind::LbrClamped,
+            ObsEvent::Squash { .. } => EventKind::Squash,
+            ObsEvent::Resteer { .. } => EventKind::Resteer,
+            ObsEvent::InjectedJitter { .. } => EventKind::InjectedJitter,
+            ObsEvent::InjectedSquash { .. } => EventKind::InjectedSquash,
+        }
+    }
+
+    /// Cycles of penalty/latency the event contributed, if it is a timing
+    /// event (squashes, resteers); `None` for pure state events.
+    pub fn penalty(&self) -> Option<u64> {
+        match self {
+            ObsEvent::Squash { penalty, .. }
+            | ObsEvent::Resteer { penalty, .. }
+            | ObsEvent::InjectedSquash { penalty, .. } => Some(*penalty),
+            _ => None,
+        }
+    }
+
+    /// Renders the event's payload as a Chrome-trace `args` JSON object.
+    pub fn args_json(&self) -> String {
+        match *self {
+            ObsEvent::BtbAllocate { pc, target } => {
+                format!("{{\"pc\": \"{pc:#x}\", \"target\": \"{target:#x}\"}}")
+            }
+            ObsEvent::BtbDeallocate { pc, speculative } => {
+                format!("{{\"pc\": \"{pc:#x}\", \"speculative\": {speculative}}}")
+            }
+            ObsEvent::BtbFalseHit {
+                pc,
+                mid_instruction,
+            } => {
+                format!("{{\"pc\": \"{pc:#x}\", \"mid_instruction\": {mid_instruction}}}")
+            }
+            ObsEvent::BtbEvict {
+                set,
+                way,
+                displaced,
+            } => {
+                format!("{{\"set\": {set}, \"way\": {way}, \"displaced\": {displaced}}}")
+            }
+            ObsEvent::LbrRecord {
+                from,
+                to,
+                elapsed,
+                mispredicted,
+            } => format!(
+                "{{\"from\": \"{from:#x}\", \"to\": \"{to:#x}\", \"elapsed\": {elapsed}, \
+                 \"mispredicted\": {mispredicted}}}"
+            ),
+            ObsEvent::LbrClamped { from, shortfall } => {
+                format!("{{\"from\": \"{from:#x}\", \"shortfall\": {shortfall}}}")
+            }
+            ObsEvent::Squash { pc, cause, penalty } => {
+                format!("{{\"pc\": \"{pc:#x}\", \"cause\": \"{cause}\", \"penalty\": {penalty}}}")
+            }
+            ObsEvent::Resteer {
+                pc,
+                target,
+                penalty,
+            } => format!(
+                "{{\"pc\": \"{pc:#x}\", \"target\": \"{target:#x}\", \"penalty\": {penalty}}}"
+            ),
+            ObsEvent::InjectedJitter { pc, cycles } => {
+                format!("{{\"pc\": \"{pc:#x}\", \"cycles\": {cycles}}}")
+            }
+            ObsEvent::InjectedSquash { pc, penalty } => {
+                format!("{{\"pc\": \"{pc:#x}\", \"penalty\": {penalty}}}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_indices_are_dense_and_match_all() {
+        for (i, kind) in EventKind::ALL.iter().enumerate() {
+            assert_eq!(kind.index(), i);
+        }
+    }
+
+    #[test]
+    fn kind_names_are_unique() {
+        let mut names: Vec<_> = EventKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), EventKind::COUNT);
+    }
+
+    #[test]
+    fn penalty_only_for_timing_events() {
+        let squash = ObsEvent::Squash {
+            pc: 1,
+            cause: "wrong_target",
+            penalty: 17,
+        };
+        assert_eq!(squash.penalty(), Some(17));
+        let alloc = ObsEvent::BtbAllocate { pc: 1, target: 2 };
+        assert_eq!(alloc.penalty(), None);
+    }
+
+    #[test]
+    fn args_render_as_json_objects() {
+        for event in [
+            ObsEvent::BtbAllocate { pc: 16, target: 32 },
+            ObsEvent::LbrRecord {
+                from: 1,
+                to: 2,
+                elapsed: 3,
+                mispredicted: true,
+            },
+            ObsEvent::BtbEvict {
+                set: 4,
+                way: 1,
+                displaced: false,
+            },
+        ] {
+            let args = event.args_json();
+            assert!(args.starts_with('{') && args.ends_with('}'), "{args}");
+        }
+    }
+}

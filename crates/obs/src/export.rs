@@ -1,0 +1,123 @@
+//! Chrome trace-event export.
+//!
+//! Renders recorders as a Chrome trace-event JSON document loadable in
+//! Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`. Spans
+//! become `"X"` (complete) events and point events become `"i"`
+//! (instant) events; one simulated cycle maps to one microsecond of
+//! trace time. Each recorder renders on its own thread track (`tid`),
+//! so a campaign's trials appear as parallel lanes.
+
+use std::fmt::Write as _;
+
+use crate::recorder::Recorder;
+
+/// Process id used for all tracks.
+const PID: u32 = 1;
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn push_track(out: &mut Vec<String>, tid: u32, label: &str, recorder: &Recorder) {
+    out.push(format!(
+        "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": {PID}, \"tid\": {tid}, \
+         \"args\": {{\"name\": \"{}\"}}}}",
+        escape(label)
+    ));
+    for span in recorder.spans() {
+        out.push(format!(
+            "{{\"name\": \"{}\", \"ph\": \"X\", \"pid\": {PID}, \"tid\": {tid}, \
+             \"ts\": {}, \"dur\": {}, \"cat\": \"phase\"}}",
+            escape(span.phase.name()),
+            span.start,
+            span.cycles()
+        ));
+    }
+    for timed in recorder.events() {
+        out.push(format!(
+            "{{\"name\": \"{}\", \"ph\": \"i\", \"pid\": {PID}, \"tid\": {tid}, \
+             \"ts\": {}, \"s\": \"t\", \"cat\": \"event\", \"args\": {}}}",
+            timed.event.kind().name(),
+            timed.cycle,
+            timed.event.args_json()
+        ));
+    }
+}
+
+/// Renders labelled recorders as one Chrome trace-event JSON document.
+///
+/// Each `(tid, label, recorder)` triple becomes its own named thread
+/// track. Timestamps are the recorders' cycle counters interpreted as
+/// microseconds.
+pub fn chrome_trace(tracks: &[(u32, &str, &Recorder)]) -> String {
+    let mut events = Vec::new();
+    for (tid, label, recorder) in tracks {
+        push_track(&mut events, *tid, label, recorder);
+    }
+    let mut out = String::from("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n");
+    for (i, event) in events.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  {event}{}",
+            if i + 1 < events.len() { "," } else { "" }
+        );
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Convenience wrapper for a single recorder on track 0.
+pub fn chrome_trace_single(label: &str, recorder: &Recorder) -> String {
+    chrome_trace(&[(0, label, recorder)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Phase;
+    use crate::ObsEvent;
+
+    fn sample() -> Recorder {
+        let mut r = Recorder::new(16);
+        r.enter(Phase::Trial, 0);
+        r.enter(Phase::Probe, 10);
+        r.event(
+            12,
+            ObsEvent::LbrRecord {
+                from: 0x40,
+                to: 0x80,
+                elapsed: 9,
+                mispredicted: false,
+            },
+        );
+        r.exit(Phase::Probe, 30);
+        r.exit(Phase::Trial, 35);
+        r
+    }
+
+    #[test]
+    fn trace_contains_spans_instants_and_track_name() {
+        let trace = chrome_trace_single("trial 0", &sample());
+        assert!(trace.contains("\"traceEvents\""));
+        assert!(trace.contains("\"ph\": \"X\""));
+        assert!(trace.contains("\"ph\": \"i\""));
+        assert!(trace.contains("\"name\": \"probe\""));
+        assert!(trace.contains("\"name\": \"lbr_record\""));
+        assert!(trace.contains("trial 0"));
+    }
+
+    #[test]
+    fn multi_track_uses_distinct_tids() {
+        let a = sample();
+        let b = sample();
+        let trace = chrome_trace(&[(0, "trial 0", &a), (1, "trial 1", &b)]);
+        assert!(trace.contains("\"tid\": 0"));
+        assert!(trace.contains("\"tid\": 1"));
+    }
+
+    #[test]
+    fn trace_is_deterministic() {
+        let r = sample();
+        assert_eq!(chrome_trace_single("t", &r), chrome_trace_single("t", &r));
+    }
+}

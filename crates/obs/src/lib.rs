@@ -1,0 +1,54 @@
+//! # nv-obs — structured observability for the NightVision reproduction
+//!
+//! A zero-cost-when-disabled tracing and metrics layer shared by the
+//! whole workspace:
+//!
+//! - **Typed events** ([`ObsEvent`]/[`EventKind`]): BTB allocations,
+//!   false-hit deallocations, evictions, LBR records and clamps,
+//!   squashes, resteers and fault-injector perturbations — the event
+//!   vocabulary of the paper's methodology, generalized from
+//!   `nv_uarch::events`.
+//! - **Recorders** ([`Recorder`]): per-context collectors with a
+//!   bounded event ring, nesting attack-phase spans ([`Phase`]) and
+//!   exact integer aggregates that survive ring overflow.
+//! - **Metrics** ([`Metrics`]): order-insensitively mergeable,
+//!   integer-valued aggregates with power-of-two cycle histograms
+//!   ([`CycleHistogram`]) and a byte-stable canonical JSON rendering —
+//!   the property that lets the campaign engine promise byte-identical
+//!   metrics at any `--threads` value.
+//! - **Exporters**: [`Metrics::summary_table`] for humans,
+//!   [`Metrics::to_json`] for machines, and [`export::chrome_trace`]
+//!   for Perfetto / `chrome://tracing` timelines.
+//!
+//! ## Zero cost when disabled
+//!
+//! This crate has no globals and no macros: a context that is not
+//! handed a recorder pays exactly one `Option` null check per emission
+//! site. A context holding a *disabled* recorder ([`Recorder::disabled`])
+//! pays one additional boolean test, which is what
+//! `repro_obs_profile` measures against the ≤ 2 % budget.
+//!
+//! ```
+//! use nv_obs::{ObsEvent, Phase, Recorder};
+//!
+//! let mut rec = Recorder::new(1024);
+//! rec.enter(Phase::Probe, 100);
+//! rec.event(112, ObsEvent::LbrRecord { from: 0x40, to: 0x80, elapsed: 9, mispredicted: false });
+//! rec.exit(Phase::Probe, 130);
+//! let metrics = rec.metrics();
+//! assert_eq!(metrics.phase(Phase::Probe).unwrap().total_cycles, 30);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+pub mod export;
+mod metrics;
+mod recorder;
+
+pub use event::{EventKind, ObsEvent};
+pub use metrics::{CycleHistogram, Metrics, Phase, PhaseStats, HISTOGRAM_BUCKETS};
+pub use recorder::{
+    Recorder, SpanRecord, TimedEvent, DEFAULT_EVENT_CAPACITY, DEFAULT_SPAN_CAPACITY,
+};

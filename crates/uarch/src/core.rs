@@ -13,6 +13,7 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use nv_isa::{Inst, InstKind, IsaError, Program, VirtAddr};
+use nv_obs::{ObsEvent, Phase, Recorder};
 
 use crate::btb::{BranchKind, Btb, BtbHit};
 use crate::config::UarchConfig;
@@ -250,6 +251,9 @@ pub struct Core {
     /// Fault injector; `None` when `config.perturbation` is quiet, so the
     /// noise-free path is provably unchanged.
     perturb: Option<PerturbState>,
+    /// Observability recorder; `None` (the default) costs one null check
+    /// per emission site, so unobserved runs are provably unchanged.
+    obs: Option<Box<Recorder>>,
 }
 
 impl Core {
@@ -265,6 +269,7 @@ impl Core {
             events: EventLog::new(4096),
             stats: CoreStats::default(),
             perturb: PerturbState::from_config(config.perturbation),
+            obs: None,
         }
     }
 
@@ -319,6 +324,58 @@ impl Core {
     /// Mutable event-log access (enable/clear).
     pub fn events_mut(&mut self) -> &mut EventLog {
         &mut self.events
+    }
+
+    /// Attaches an observability recorder: from now on the core reports
+    /// typed [`ObsEvent`]s (allocations, false-hit deallocations,
+    /// squashes, resteers, LBR records, injected faults) into it at the
+    /// current cycle. Replaces any previously attached recorder.
+    pub fn attach_obs(&mut self, recorder: Recorder) {
+        self.obs = Some(Box::new(recorder));
+    }
+
+    /// Detaches and returns the recorder, restoring the unobserved (and
+    /// overhead-free) configuration. Open spans are closed first so the
+    /// returned recorder's aggregates are complete.
+    pub fn detach_obs(&mut self) -> Option<Recorder> {
+        self.obs.take().map(|mut boxed| {
+            boxed.finish();
+            *boxed
+        })
+    }
+
+    /// The attached recorder, if any.
+    pub fn obs(&self) -> Option<&Recorder> {
+        self.obs.as_deref()
+    }
+
+    /// Mutable access to the attached recorder, if any.
+    pub fn obs_mut(&mut self) -> Option<&mut Recorder> {
+        self.obs.as_deref_mut()
+    }
+
+    /// Opens an attack-phase span at the current cycle (no-op when no
+    /// recorder is attached).
+    pub fn obs_enter(&mut self, phase: Phase) {
+        if let Some(obs) = self.obs.as_deref_mut() {
+            obs.enter(phase, self.cycle);
+        }
+    }
+
+    /// Closes the innermost span of `phase` at the current cycle (no-op
+    /// when no recorder is attached).
+    pub fn obs_exit(&mut self, phase: Phase) {
+        if let Some(obs) = self.obs.as_deref_mut() {
+            obs.exit(phase, self.cycle);
+        }
+    }
+
+    /// Reports one event to the attached recorder at the current cycle.
+    #[inline]
+    fn obs_event(&mut self, event: ObsEvent) {
+        if let Some(obs) = self.obs.as_deref_mut() {
+            obs.event(self.cycle, event);
+        }
     }
 
     /// Discards transient front-end state (the active PW). Called on
@@ -456,6 +513,11 @@ impl Core {
             let evicted = self.btb.evict_entry(set, way);
             self.events
                 .push(FrontEndEvent::InjectedEviction { set, way, evicted });
+            self.obs_event(ObsEvent::BtbEvict {
+                set: set as u32,
+                way: way as u32,
+                displaced: evicted,
+            });
         }
         if preempted {
             let penalty = self.config.timing.squash_penalty;
@@ -468,6 +530,10 @@ impl Core {
             self.events.push(FrontEndEvent::Squash {
                 at: pc,
                 cause: SquashCause::SpuriousPreemption,
+                penalty,
+            });
+            self.obs_event(ObsEvent::InjectedSquash {
+                pc: pc.value(),
                 penalty,
             });
         }
@@ -540,6 +606,14 @@ impl Core {
                             cause,
                             speculative,
                         });
+                        self.obs_event(ObsEvent::BtbFalseHit {
+                            pc: pc.value(),
+                            mid_instruction: cause == SquashCause::FalseHitMidInstruction,
+                        });
+                        self.obs_event(ObsEvent::BtbDeallocate {
+                            pc: hit.branch_pc.value(),
+                            speculative,
+                        });
                         if !speculative {
                             let penalty = self.config.timing.squash_penalty;
                             self.cycle += penalty;
@@ -547,6 +621,11 @@ impl Core {
                             self.events.push(FrontEndEvent::Squash {
                                 at: pc,
                                 cause,
+                                penalty,
+                            });
+                            self.obs_event(ObsEvent::Squash {
+                                pc: pc.value(),
+                                cause: cause.name(),
                                 penalty,
                             });
                         }
@@ -587,6 +666,14 @@ impl Core {
                         cause: SquashCause::FalseHitMidInstruction,
                         speculative,
                     });
+                    self.obs_event(ObsEvent::BtbFalseHit {
+                        pc: pc.value(),
+                        mid_instruction: true,
+                    });
+                    self.obs_event(ObsEvent::BtbDeallocate {
+                        pc: hit.branch_pc.value(),
+                        speculative,
+                    });
                     if !speculative {
                         let penalty = timing.squash_penalty;
                         self.cycle += penalty;
@@ -594,6 +681,11 @@ impl Core {
                         self.events.push(FrontEndEvent::Squash {
                             at: pc,
                             cause: SquashCause::FalseHitMidInstruction,
+                            penalty,
+                        });
+                        self.obs_event(ObsEvent::Squash {
+                            pc: pc.value(),
+                            cause: SquashCause::FalseHitMidInstruction.name(),
                             penalty,
                         });
                     }
@@ -627,13 +719,19 @@ impl Core {
                         } else {
                             penalty = timing.squash_penalty;
                             mispredicted = true;
+                            let cause = if predicted_here {
+                                SquashCause::RsbMismatch
+                            } else {
+                                SquashCause::BtbMissTaken
+                            };
                             self.events.push(FrontEndEvent::Squash {
                                 at: pc,
-                                cause: if predicted_here {
-                                    SquashCause::RsbMismatch
-                                } else {
-                                    SquashCause::BtbMissTaken
-                                },
+                                cause,
+                                penalty,
+                            });
+                            self.obs_event(ObsEvent::Squash {
+                                pc: pc.value(),
+                                cause: cause.name(),
                                 penalty,
                             });
                         }
@@ -641,6 +739,10 @@ impl Core {
                         // transfers (the "there is a return here" marker).
                         self.btb.allocate(last_byte, target, BranchKind::Return);
                         self.events.push(FrontEndEvent::Allocate { pc, target });
+                        self.obs_event(ObsEvent::BtbAllocate {
+                            pc: pc.value(),
+                            target: target.value(),
+                        });
                     }
                     kind => {
                         let bkind = BranchKind::from_inst_kind(kind)
@@ -659,6 +761,11 @@ impl Core {
                                     cause: SquashCause::WrongTarget,
                                     penalty,
                                 });
+                                self.obs_event(ObsEvent::Squash {
+                                    pc: pc.value(),
+                                    cause: SquashCause::WrongTarget.name(),
+                                    penalty,
+                                });
                             }
                             None => {
                                 // A taken transfer the BTB did not predict
@@ -666,10 +773,9 @@ impl Core {
                                 // down the window). Direct unconditional
                                 // targets resolve at decode (cheap
                                 // resteer); everything else squashes.
-                                penalty = if matches!(
-                                    kind,
-                                    InstKind::DirectJump | InstKind::DirectCall
-                                ) {
+                                let resteers =
+                                    matches!(kind, InstKind::DirectJump | InstKind::DirectCall);
+                                penalty = if resteers {
                                     timing.resteer_penalty
                                 } else {
                                     timing.squash_penalty
@@ -680,10 +786,27 @@ impl Core {
                                     cause: SquashCause::BtbMissTaken,
                                     penalty,
                                 });
+                                if resteers {
+                                    self.obs_event(ObsEvent::Resteer {
+                                        pc: pc.value(),
+                                        target: target.value(),
+                                        penalty,
+                                    });
+                                } else {
+                                    self.obs_event(ObsEvent::Squash {
+                                        pc: pc.value(),
+                                        cause: SquashCause::BtbMissTaken.name(),
+                                        penalty,
+                                    });
+                                }
                             }
                         }
                         self.btb.allocate(last_byte, target, bkind);
                         self.events.push(FrontEndEvent::Allocate { pc, target });
+                        self.obs_event(ObsEvent::BtbAllocate {
+                            pc: pc.value(),
+                            target: target.value(),
+                        });
                         if matches!(kind, InstKind::DirectCall | InstKind::IndirectCall) {
                             if self.rsb.len() == self.config.rsb_depth {
                                 self.rsb.pop_front();
@@ -703,6 +826,11 @@ impl Core {
                 self.events.push(FrontEndEvent::Squash {
                     at: pc,
                     cause: SquashCause::WrongDirection,
+                    penalty,
+                });
+                self.obs_event(ObsEvent::Squash {
+                    pc: pc.value(),
+                    cause: SquashCause::WrongDirection.name(),
                     penalty,
                 });
                 self.pw = None;
@@ -740,12 +868,32 @@ impl Core {
             self.cycle += cost;
             if let ControlOutcome::Taken { target } = outcome.control {
                 let jitter = self.perturb.as_mut().map_or(0, PerturbState::draw_jitter);
-                self.lbr
-                    .record_jittered(pc, target, self.cycle, mispredicted, jitter);
+                let clamped =
+                    self.lbr
+                        .record_jittered(pc, target, self.cycle, mispredicted, jitter);
                 if jitter > 0 {
                     self.events.push(FrontEndEvent::InjectedJitter {
                         at: pc,
                         cycles: jitter,
+                    });
+                    self.obs_event(ObsEvent::InjectedJitter {
+                        pc: pc.value(),
+                        cycles: jitter,
+                    });
+                }
+                if let Some(shortfall) = clamped {
+                    self.obs_event(ObsEvent::LbrClamped {
+                        from: pc.value(),
+                        shortfall,
+                    });
+                }
+                if self.obs.is_some() {
+                    let elapsed = self.lbr.last().map_or(0, |r| r.elapsed);
+                    self.obs_event(ObsEvent::LbrRecord {
+                        from: pc.value(),
+                        to: target.value(),
+                        elapsed,
+                        mispredicted,
                     });
                 }
             }
@@ -1216,6 +1364,85 @@ mod tests {
         });
         core.run(&mut machine, 10);
         assert_eq!(core.btb().stats().external_evictions, 0);
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved_and_captures_events() {
+        use nv_obs::EventKind;
+        let build = |asm: &mut Assembler| {
+            asm.mov_ri(Reg::R0, 0);
+            asm.label("loop");
+            asm.add_ri8(Reg::R0, 1);
+            asm.cmp_ri8(Reg::R0, 10);
+            asm.jcc8(Cond::Ne, "loop");
+            asm.halt();
+        };
+        let mut plain_machine = assemble(build);
+        let mut plain = fresh_core();
+        assert_eq!(plain.run(&mut plain_machine, 1000), RunExit::Halted);
+
+        let mut observed_machine = assemble(build);
+        let mut observed = fresh_core();
+        observed.attach_obs(Recorder::new(1024));
+        observed.obs_enter(Phase::Custom("loop_run"));
+        assert_eq!(observed.run(&mut observed_machine, 1000), RunExit::Halted);
+        observed.obs_exit(Phase::Custom("loop_run"));
+
+        // Observation must not change the simulation.
+        assert_eq!(plain.cycle(), observed.cycle());
+        assert_eq!(plain.stats(), observed.stats());
+        assert_eq!(plain.btb().stats(), observed.btb().stats());
+
+        let rec = observed.detach_obs().expect("recorder attached");
+        assert!(observed.obs().is_none());
+        let metrics = rec.metrics();
+        assert!(
+            metrics.count(EventKind::BtbAllocate) >= 9,
+            "taken loop edges"
+        );
+        assert!(metrics.count(EventKind::LbrRecord) >= 9);
+        // Cold first iteration + warm direction flip at loop exit squash.
+        assert!(metrics.count(EventKind::Squash) >= 1);
+        let span = metrics
+            .phase(Phase::Custom("loop_run"))
+            .expect("span closed");
+        assert_eq!(span.count, 1);
+        assert_eq!(span.total_cycles, plain.cycle());
+        assert_eq!(metrics.squash_cycles, {
+            let squashes: u64 = rec
+                .events()
+                .filter_map(|t| match t.event {
+                    ObsEvent::Squash { penalty, .. } => Some(penalty),
+                    _ => None,
+                })
+                .sum();
+            squashes
+        });
+    }
+
+    #[test]
+    fn obs_captures_false_hit_and_deallocation() {
+        use nv_obs::EventKind;
+        let mut machine = assemble(|asm| {
+            asm.jmp8("after");
+            asm.label("after");
+            asm.syscall(0);
+            asm.org(VirtAddr::new(0x40_0000 + (1 << 33))).unwrap();
+            asm.nop();
+            asm.nop();
+            asm.halt();
+        });
+        let mut core = fresh_core();
+        core.attach_obs(Recorder::new(256));
+        core.run(&mut machine, 10);
+        machine
+            .state_mut()
+            .set_pc(VirtAddr::new(0x40_0000 + (1 << 33)));
+        core.reset_frontend();
+        core.run(&mut machine, 10);
+        let metrics = core.detach_obs().unwrap().metrics();
+        assert!(metrics.count(EventKind::BtbFalseHit) >= 1);
+        assert!(metrics.count(EventKind::BtbDeallocate) >= 1);
     }
 
     #[test]

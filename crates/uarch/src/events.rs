@@ -32,6 +32,22 @@ pub enum SquashCause {
     SpuriousPreemption,
 }
 
+impl SquashCause {
+    /// Stable snake_case label, used by the observability layer
+    /// (`nv_obs::ObsEvent::Squash { cause, .. }`) and exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            SquashCause::FalseHitNonTransfer => "false_hit_non_transfer",
+            SquashCause::FalseHitMidInstruction => "false_hit_mid_instruction",
+            SquashCause::WrongTarget => "wrong_target",
+            SquashCause::WrongDirection => "wrong_direction",
+            SquashCause::BtbMissTaken => "btb_miss_taken",
+            SquashCause::RsbMismatch => "rsb_mismatch",
+            SquashCause::SpuriousPreemption => "spurious_preemption",
+        }
+    }
+}
+
 /// One logged front-end event.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum FrontEndEvent {

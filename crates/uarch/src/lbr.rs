@@ -62,11 +62,26 @@ impl Lbr {
     ///
     /// Computes the `elapsed` field relative to the previous record; the
     /// first record after a [`Lbr::clear`] reports `elapsed == 0`.
-    pub fn record(&mut self, from: VirtAddr, to: VirtAddr, cycle: u64, mispredicted: bool) {
-        let elapsed = self
-            .last_retire_cycle
-            .map(|last| cycle.saturating_sub(last))
-            .unwrap_or(0);
+    ///
+    /// A non-monotone retire cycle (`cycle` earlier than the previous
+    /// record's) cannot happen on the simulator's own timeline, but the
+    /// clamp is made explicit rather than silently saturating: `elapsed`
+    /// is floored to **1** — distinguishable from the genuine-zero first
+    /// record — and the shortfall (how far backwards the clock stepped)
+    /// is returned so the core can surface a trace event. Returns `None`
+    /// for ordinary monotone records.
+    pub fn record(
+        &mut self,
+        from: VirtAddr,
+        to: VirtAddr,
+        cycle: u64,
+        mispredicted: bool,
+    ) -> Option<u64> {
+        let (elapsed, clamped) = match self.last_retire_cycle {
+            None => (0, None),
+            Some(last) if cycle >= last => (cycle - last, None),
+            Some(last) => (1, Some(last - cycle)),
+        };
         self.last_retire_cycle = Some(cycle);
         if self.records.len() == LBR_DEPTH {
             self.records.pop_front();
@@ -78,6 +93,7 @@ impl Lbr {
             elapsed,
             mispredicted,
         });
+        clamped
     }
 
     /// Like [`Lbr::record`], but adds `jitter` cycles of injected
@@ -85,7 +101,7 @@ impl Lbr {
     /// cycle itself — and therefore the *next* record's baseline — stays
     /// exact: jitter models timer/readout skew, not a slower core, so it
     /// must not compound across records. `jitter == 0` is exactly
-    /// [`Lbr::record`].
+    /// [`Lbr::record`]. Propagates [`Lbr::record`]'s clamp shortfall.
     pub fn record_jittered(
         &mut self,
         from: VirtAddr,
@@ -93,12 +109,13 @@ impl Lbr {
         cycle: u64,
         mispredicted: bool,
         jitter: u64,
-    ) {
-        self.record(from, to, cycle, mispredicted);
+    ) -> Option<u64> {
+        let clamped = self.record(from, to, cycle, mispredicted);
         if jitter > 0 {
             let rec = self.records.back_mut().expect("record was just pushed");
             rec.elapsed += jitter;
         }
+        clamped
     }
 
     /// Iterates over records from oldest to newest.
@@ -204,6 +221,35 @@ mod tests {
         assert_eq!(plain_elapsed, vec![0, 10, 15]);
         // Only the jittered record shifts; the following one is unaffected.
         assert_eq!(noisy_elapsed, vec![0, 17, 15]);
+    }
+
+    #[test]
+    fn non_monotone_cycle_clamps_to_one_and_reports_shortfall() {
+        let mut lbr = Lbr::new();
+        assert_eq!(lbr.record(addr(1), addr(2), 1000, false), None);
+        // Exactly equal cycles are monotone: elapsed 0, no clamp.
+        assert_eq!(lbr.record(addr(2), addr(3), 1000, false), None);
+        assert_eq!(lbr.last().unwrap().elapsed, 0);
+        // A backwards step clamps to the 1-cycle floor (distinguishable
+        // from the genuine zero above) and reports how far back it went.
+        assert_eq!(lbr.record(addr(3), addr(4), 993, false), Some(7));
+        assert_eq!(lbr.last().unwrap().elapsed, 1);
+        // The baseline follows the (earlier) clamped cycle, so the next
+        // monotone record measures from it.
+        assert_eq!(lbr.record(addr(4), addr(5), 1003, false), None);
+        assert_eq!(lbr.last().unwrap().elapsed, 10);
+    }
+
+    #[test]
+    fn jittered_clamp_floors_before_adding_jitter() {
+        let mut lbr = Lbr::new();
+        lbr.record(addr(1), addr(2), 500, false);
+        // Clamp fires, then jitter inflates the stored field only.
+        assert_eq!(
+            lbr.record_jittered(addr(2), addr(3), 490, false, 4),
+            Some(10)
+        );
+        assert_eq!(lbr.last().unwrap().elapsed, 1 + 4);
     }
 
     #[test]

@@ -53,3 +53,7 @@ pub use exec::{execute, ArchState, ControlOutcome, ExecOutcome, MemAccess};
 pub use lbr::{Lbr, LbrRecord, LBR_DEPTH};
 pub use mem::{Bus, Memory, SpecOverlay};
 pub use perturb::Perturbation;
+
+/// The observability layer ([`nv_obs`]) the core reports into — re-exported
+/// so instrumented callers need not depend on the crate separately.
+pub use nv_obs as obs;

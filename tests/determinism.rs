@@ -4,8 +4,10 @@
 
 use nightvision::{NoiseModel, NvSupervisor, NvUser};
 use nv_bench::noise::run_sweep;
+use nv_bench::obs_profile::{campaign_profile, profile_nv_s};
 use nv_corpus::{generate, CorpusConfig};
 use nv_isa::VirtAddr;
+use nv_obs::Recorder;
 use nv_os::{Enclave, System};
 use nv_uarch::{Core, Machine, Perturbation, UarchConfig};
 use nv_victims::compile::{compile_gcd, CompileOptions};
@@ -117,6 +119,73 @@ fn quiet_perturbation_leaves_simulation_byte_identical() {
     });
     reset_to_none.set_perturbation(Perturbation::none());
     assert_eq!(run(&mut reset_to_none), baseline);
+}
+
+#[test]
+fn observed_metrics_are_identical_across_thread_counts() {
+    // `Campaign::run_observed` merges per-trial recorder metrics in
+    // trial-index order, so the aggregate JSON — counters, penalty
+    // cycles, phase histograms — is byte-identical for any worker count.
+    let (serial_results, serial_metrics) = campaign_profile(5, 1);
+    let serial_json = serial_metrics.to_json();
+    for threads in [2, 8] {
+        let (results, metrics) = campaign_profile(5, threads);
+        assert_eq!(
+            serial_results, results,
+            "observed campaign results diverged at {threads} threads"
+        );
+        assert_eq!(
+            serial_json,
+            metrics.to_json(),
+            "observed campaign metrics diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn attached_recorder_leaves_simulation_byte_identical() {
+    // Observability must observe, not perturb: the same run with an
+    // *enabled* recorder attached retires the same instructions in the
+    // same cycles as the bare core — and repeated observed runs agree
+    // with each other down to the metrics JSON.
+    let image = compile_gcd(
+        &CompileOptions::default(),
+        VirtAddr::new(0x40_0000),
+        0xabc_def,
+        65537,
+    )
+    .unwrap();
+    let run = |core: &mut Core| {
+        let mut machine = Machine::new(image.program().clone());
+        core.run(&mut machine, 1_000_000);
+        (
+            core.cycle(),
+            core.stats(),
+            machine.state().reg(nv_isa::Reg::R0),
+        )
+    };
+    let baseline = run(&mut Core::new(UarchConfig::default()));
+    let observed = || {
+        let mut core = Core::new(UarchConfig::default());
+        core.attach_obs(Recorder::new(1 << 12));
+        let result = run(&mut core);
+        let metrics = core.detach_obs().unwrap().metrics();
+        (result, metrics.to_json())
+    };
+    let (first_result, first_metrics) = observed();
+    assert_eq!(first_result, baseline);
+    assert_eq!(observed(), (first_result, first_metrics));
+}
+
+#[test]
+fn nv_s_profile_is_reproducible() {
+    // The full observed NV-S extraction is a pure function of its inputs:
+    // same phase breakdown, same event counts, run after run.
+    let a = profile_nv_s();
+    let b = profile_nv_s();
+    assert_eq!(a.steps, b.steps);
+    assert_eq!(a.resolved_pcs, b.resolved_pcs);
+    assert_eq!(a.metrics.to_json(), b.metrics.to_json());
 }
 
 #[test]
