@@ -56,3 +56,31 @@ with open("target/obs_trace_smoke.json") as f:
     trace = json.load(f)
 assert any(e["ph"] == "X" for e in trace["traceEvents"]), "Chrome trace has no span events"
 EOF
+
+# Resilience smoke: the demo binary's own assertions gate quarantined
+# completion, retry healing and kill-at-k resume identity; on top, the
+# emitted JSON must parse, the outcome census must cover the campaign,
+# the completion-rate floor must hold and both identity flags must be
+# recorded as passing.
+./target/release/repro_resilience --smoke
+python3 -m json.tool target/BENCH_resilience_smoke.json > /dev/null
+python3 - <<'EOF'
+import json
+
+with open("target/BENCH_resilience_smoke.json") as f:
+    res = json.load(f)
+q = res["quarantine"]
+assert q["completed"] + q["quarantined"] == res["trials"], \
+    f"quarantine census does not cover the campaign: {q}"
+assert q["panicked"] + q["deadline_exceeded"] == q["quarantined"], \
+    f"quarantined outcomes are not all typed: {q}"
+assert q["completion_rate"] >= 0.6, \
+    f"completion rate {q['completion_rate']} under injected faults below the 0.6 floor"
+assert res["retry"]["all_completed"] is True, f"retry demo left trials incomplete: {res['retry']}"
+assert res["resume"]["resume_identical"] is True, \
+    f"kill-and-resume output diverged: {res['resume']}"
+assert res["corruption"]["corrupt_record_dropped"] is True, \
+    f"checkpoint corruption was not absorbed: {res['corruption']}"
+assert res["corruption"]["resume_identical"] is True, \
+    f"resume after corruption diverged: {res['corruption']}"
+EOF

@@ -14,6 +14,7 @@
 //! | `repro_fusion_ablation` | §7.3 — macro-fusion and speculation ablations |
 //! | `repro_ibrs` | §4.1 — IBRS/IBPB ineffectiveness |
 //! | `repro_obs_profile` | observability profile: NV-S phase breakdown, campaign metrics, disabled-overhead ≤ 2 % |
+//! | `repro_resilience` | fault tolerance: quarantine/retry/deadline outcomes, kill-and-resume checkpoint identity |
 //!
 //! The library half holds the shared experiment plumbing so the binaries
 //! stay declarative.
@@ -25,6 +26,7 @@ pub mod experiments;
 pub mod microbench;
 pub mod noise;
 pub mod obs_profile;
+pub mod resilience;
 
 use std::collections::BTreeSet;
 

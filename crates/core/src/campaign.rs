@@ -33,11 +33,15 @@
 //! assert_eq!(sums, serial);
 //! ```
 
+use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
-use nv_obs::{Metrics, Phase, Recorder};
+use nv_obs::{Metrics, ObsEvent, Phase, Recorder};
 use nv_rand::Rng;
+
+use crate::checkpoint::{CampaignCheckpoint, CheckpointKey};
+use crate::error::AttackError;
 
 /// One trial's execution context: its index within the campaign and its
 /// private child generator (stream `index` of the campaign's master seed).
@@ -48,6 +52,98 @@ pub struct Trial {
     /// The trial's independent random stream. Deterministic in
     /// `(master_seed, index)` — never in worker identity or timing.
     pub rng: Rng,
+    /// The campaign's per-trial watchdog budget in retirement steps
+    /// ([`Campaign::deadline_steps`]), if one was configured. Arm it on
+    /// the trial's core with [`Trial::arm`].
+    pub deadline: Option<u64>,
+}
+
+impl Trial {
+    /// Arms the campaign's watchdog deadline (if any) on `core`, so the
+    /// attack layers' run loops convert a wedged trial into
+    /// [`AttackError::DeadlineExceeded`]. A no-op when the campaign has no
+    /// deadline configured.
+    pub fn arm(&self, core: &mut nv_uarch::Core) {
+        if let Some(limit) = self.deadline {
+            core.arm_watchdog(limit);
+        }
+    }
+}
+
+/// How one trial finished under [`Campaign::run_supervised`].
+#[derive(Clone, PartialEq, Debug)]
+pub enum TrialOutcome<T> {
+    /// The trial's closure returned `Ok`.
+    Completed(T),
+    /// The trial's final attempt returned a typed error (other than a
+    /// deadline).
+    Failed(AttackError),
+    /// The trial's final attempt panicked; the payload's message was
+    /// captured.
+    Panicked {
+        /// The panic message (`&str`/`String` payloads; anything else is
+        /// described generically).
+        message: String,
+    },
+    /// The trial's final attempt blew its watchdog deadline.
+    DeadlineExceeded {
+        /// Retirement steps consumed since arming.
+        consumed: u64,
+        /// The armed budget.
+        limit: u64,
+    },
+}
+
+impl<T> TrialOutcome<T> {
+    /// Whether the trial completed.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, TrialOutcome::Completed(_))
+    }
+
+    /// The completed value, if any.
+    pub fn completed(&self) -> Option<&T> {
+        match self {
+            TrialOutcome::Completed(value) => Some(value),
+            _ => None,
+        }
+    }
+
+    /// Consumes the outcome into its completed value, if any.
+    pub fn into_completed(self) -> Option<T> {
+        match self {
+            TrialOutcome::Completed(value) => Some(value),
+            _ => None,
+        }
+    }
+}
+
+/// What a supervised campaign does with a trial whose final attempt did
+/// not complete.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum FailurePolicy {
+    /// First failure aborts the whole campaign — today's [`Campaign::run`]
+    /// semantics. A panicking trial re-raises its original payload on the
+    /// calling thread; a typed error or deadline panics with a descriptive
+    /// message.
+    #[default]
+    Abort,
+    /// Record the failure as a typed [`TrialOutcome`] and carry on, up to
+    /// `max_failures` failed trials; one more aborts the campaign (a
+    /// systematically broken campaign should not burn its full budget).
+    Quarantine {
+        /// Failed trials tolerated before the campaign aborts.
+        max_failures: usize,
+    },
+    /// Re-run a failed trial up to `budget` more times, each attempt on a
+    /// fresh deterministic sub-stream of the trial's RNG stream (attempt 0
+    /// is the stream [`Campaign::run`] would use, so completions without
+    /// retries are byte-identical to unsupervised runs). A trial that
+    /// fails all `budget + 1` attempts is quarantined with its final
+    /// outcome; other trials are never perturbed.
+    Retry {
+        /// Additional attempts per trial.
+        budget: usize,
+    },
 }
 
 /// A parallel trial campaign: `trials` executions of a closure, fanned out
@@ -57,6 +153,8 @@ pub struct Campaign {
     trials: usize,
     threads: usize,
     master_seed: u64,
+    policy: FailurePolicy,
+    deadline: Option<u64>,
 }
 
 impl Campaign {
@@ -67,6 +165,8 @@ impl Campaign {
             trials,
             threads: 1,
             master_seed: 0,
+            policy: FailurePolicy::Abort,
+            deadline: None,
         }
     }
 
@@ -85,10 +185,42 @@ impl Campaign {
         self
     }
 
+    /// Sets the failure policy for the supervised paths
+    /// ([`Campaign::run_supervised`] and friends). [`Campaign::run`]
+    /// ignores it — unsupervised runs always abort on failure.
+    #[must_use]
+    pub fn failure_policy(mut self, policy: FailurePolicy) -> Campaign {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets a per-trial watchdog budget in retirement steps. Supervised
+    /// trials receive it as [`Trial::deadline`] and arm it on their core
+    /// with [`Trial::arm`]; a trial that exceeds it becomes a
+    /// [`TrialOutcome::DeadlineExceeded`] instead of a hung worker.
+    #[must_use]
+    pub fn deadline_steps(mut self, steps: u64) -> Campaign {
+        self.deadline = Some(steps);
+        self
+    }
+
     /// Number of trials.
     #[must_use]
     pub fn trials(&self) -> usize {
         self.trials
+    }
+
+    /// The [`CheckpointKey`] identifying this campaign's checkpoints:
+    /// master seed, trial count, and the caller's config fingerprint
+    /// (hash a canonical config description with
+    /// [`crate::checkpoint::fnv1a64`]).
+    #[must_use]
+    pub fn checkpoint_key(&self, config_fingerprint: u64) -> CheckpointKey {
+        CheckpointKey {
+            master_seed: self.master_seed,
+            trials: self.trials as u64,
+            config_fingerprint,
+        }
     }
 
     /// Runs the campaign and returns one result per trial, in trial-index
@@ -114,6 +246,7 @@ impl Campaign {
         let make_trial = |index: usize| Trial {
             index,
             rng: Rng::stream(self.master_seed, index as u64),
+            deadline: self.deadline,
         };
 
         if self.threads == 1 || self.trials <= 1 {
@@ -233,6 +366,455 @@ impl Campaign {
         }
         acc
     }
+
+    /// Runs the campaign under supervision: every trial's panics, typed
+    /// errors and watchdog-deadline overruns become per-trial
+    /// [`TrialOutcome`]s handled per the configured [`FailurePolicy`],
+    /// instead of unconditionally aborting the run.
+    ///
+    /// Completed trials are byte-identical to what [`Campaign::run`]
+    /// computes for the same `(master_seed, index)` — supervision wraps
+    /// the trial, it never touches its RNG stream — and results arrive in
+    /// trial-index order regardless of thread count, exactly like `run`.
+    ///
+    /// # Panics
+    ///
+    /// Under [`FailurePolicy::Abort`], the first failing trial aborts the
+    /// campaign (panics re-raise their original payload). Under
+    /// [`FailurePolicy::Quarantine`], exceeding `max_failures` aborts.
+    pub fn run_supervised<T, F>(&self, trial_fn: F) -> Vec<TrialOutcome<T>>
+    where
+        T: Send,
+        F: Fn(Trial) -> Result<T, AttackError> + Sync,
+    {
+        self.supervised_engine(None, None::<PlainCodec<T>>, |trial, _| trial_fn(trial))
+            .0
+    }
+
+    /// [`Campaign::run_supervised`] with a per-trial observability
+    /// [`Recorder`] (see [`Campaign::run_observed`]). On top of the µarch
+    /// events the trial reports, the engine itself emits campaign
+    /// lifecycle events — [`ObsEvent::TrialRetried`] per retry attempt and
+    /// [`ObsEvent::TrialQuarantined`] per written-off trial, under
+    /// [`Phase::Retry`]/[`Phase::Quarantine`] spans — and merges per-trial
+    /// metrics in trial-index order, so the aggregate is byte-identical at
+    /// any thread count.
+    pub fn run_supervised_observed<T, F>(
+        &self,
+        event_capacity: usize,
+        trial_fn: F,
+    ) -> (Vec<TrialOutcome<T>>, Metrics)
+    where
+        T: Send,
+        F: Fn(Trial, &mut Recorder) -> Result<T, AttackError> + Sync,
+    {
+        self.supervised_engine(Some(event_capacity), None::<PlainCodec<T>>, |trial, rec| {
+            trial_fn(
+                trial,
+                rec.expect("observed engine always provides a recorder"),
+            )
+        })
+    }
+
+    /// Runs the campaign against a [`CampaignCheckpoint`]: trials already
+    /// recorded in the checkpoint are *skipped* (their results are decoded
+    /// and returned as [`TrialOutcome::Completed`]), the rest run normally
+    /// and append their results as they complete. Killing the process at
+    /// any point and calling `resume` again with a re-opened checkpoint
+    /// yields output byte-identical to an uninterrupted run — at any
+    /// thread count and any interruption point — provided
+    /// `decode(&encode(v))` reproduces `v` exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint's key does not match this campaign's
+    /// master seed and trial count (open the file via
+    /// [`CampaignCheckpoint::open`] with [`Campaign::checkpoint_key`] to
+    /// get the fingerprint check too), if checkpoint appends start
+    /// failing mid-run (persistence loss is campaign-fatal), or per the
+    /// failure policy exactly like [`Campaign::run_supervised`].
+    pub fn resume<T, F, E, D>(
+        &self,
+        checkpoint: &CampaignCheckpoint,
+        encode: E,
+        decode: D,
+        trial_fn: F,
+    ) -> Vec<TrialOutcome<T>>
+    where
+        T: Send,
+        F: Fn(Trial) -> Result<T, AttackError> + Sync,
+        E: Fn(&T) -> String + Sync,
+        D: Fn(&str) -> Option<T> + Sync,
+    {
+        self.assert_checkpoint_matches(checkpoint);
+        self.supervised_engine(None, Some((checkpoint, &encode, &decode)), |trial, _| {
+            trial_fn(trial)
+        })
+        .0
+    }
+
+    /// [`Campaign::resume`] with per-trial observability: in addition to
+    /// the supervised lifecycle events, skipped trials emit
+    /// [`ObsEvent::CheckpointResumed`] and fresh completions emit
+    /// [`ObsEvent::CheckpointAppended`], both under [`Phase::Checkpoint`]
+    /// spans, merged deterministically in trial-index order.
+    pub fn resume_observed<T, F, E, D>(
+        &self,
+        event_capacity: usize,
+        checkpoint: &CampaignCheckpoint,
+        encode: E,
+        decode: D,
+        trial_fn: F,
+    ) -> (Vec<TrialOutcome<T>>, Metrics)
+    where
+        T: Send,
+        F: Fn(Trial, &mut Recorder) -> Result<T, AttackError> + Sync,
+        E: Fn(&T) -> String + Sync,
+        D: Fn(&str) -> Option<T> + Sync,
+    {
+        self.assert_checkpoint_matches(checkpoint);
+        self.supervised_engine(
+            Some(event_capacity),
+            Some((checkpoint, &encode, &decode)),
+            |trial, rec| {
+                trial_fn(
+                    trial,
+                    rec.expect("observed engine always provides a recorder"),
+                )
+            },
+        )
+    }
+
+    fn assert_checkpoint_matches(&self, checkpoint: &CampaignCheckpoint) {
+        let key = checkpoint.key();
+        assert!(
+            key.master_seed == self.master_seed && key.trials == self.trials as u64,
+            "checkpoint {} was opened for seed {:#x}/{} trials, campaign has seed {:#x}/{} trials",
+            checkpoint.path().display(),
+            key.master_seed,
+            key.trials,
+            self.master_seed,
+            self.trials,
+        );
+    }
+
+    /// The shared supervised engine behind `run_supervised[_observed]` and
+    /// `resume[_observed]`.
+    ///
+    /// `observe` is the per-trial recorder event capacity (`None` =
+    /// unobserved); `checkpoint` carries the store plus encode/decode
+    /// callbacks. Each trial index runs to a final [`TrialOutcome`]
+    /// (retrying per policy), which the failure policy then admits or
+    /// converts into a campaign abort. Results and metrics merge in
+    /// trial-index order; abort payloads re-raise on the calling thread.
+    fn supervised_engine<T, F>(
+        &self,
+        observe: Option<usize>,
+        checkpoint: Option<Codec<'_, T>>,
+        trial_fn: F,
+    ) -> (Vec<TrialOutcome<T>>, Metrics)
+    where
+        T: Send,
+        F: Fn(Trial, Option<&mut Recorder>) -> Result<T, AttackError> + Sync,
+    {
+        let failures = AtomicUsize::new(0);
+        // Runs one trial index to its final outcome and applies the
+        // failure policy: `Ok` feeds the result slots, `Err` carries the
+        // payload the campaign must abort with.
+        let run_one = |index: usize| -> Result<Slot<T>, Payload> {
+            let mut recorder = observe.map(Recorder::new);
+            if let Some(rec) = recorder.as_mut() {
+                rec.enter(Phase::Trial, 0);
+            }
+
+            // Checkpointed trials short-circuit; a payload that fails to
+            // decode is treated as absent and the trial re-runs.
+            if let Some((store, _, decode)) = checkpoint {
+                if let Some(value) = store.data(index).and_then(decode) {
+                    if let Some(rec) = recorder.as_mut() {
+                        rec.enter(Phase::Checkpoint, 0);
+                        rec.event(
+                            0,
+                            ObsEvent::CheckpointResumed {
+                                trial: index as u64,
+                            },
+                        );
+                        rec.exit(Phase::Checkpoint, 0);
+                    }
+                    let metrics = finish(recorder);
+                    return Ok((TrialOutcome::Completed(value), metrics));
+                }
+            }
+
+            let budget = match self.policy {
+                FailurePolicy::Retry { budget } => budget,
+                _ => 0,
+            };
+            let mut outcome = None;
+            let mut last_payload = None;
+            for attempt in 0..=budget {
+                if attempt > 0 {
+                    if let Some(rec) = recorder.as_mut() {
+                        rec.event(
+                            0,
+                            ObsEvent::TrialRetried {
+                                trial: index as u64,
+                                attempt: attempt as u64,
+                            },
+                        );
+                        rec.enter(Phase::Retry, 0);
+                    }
+                }
+                let trial = Trial {
+                    index,
+                    rng: attempt_rng(self.master_seed, index, attempt),
+                    deadline: self.deadline,
+                };
+                // `AssertUnwindSafe` is sound for the same reason as in
+                // `run`: a panicked attempt's state is abandoned (the
+                // recorder only ever gains append-only records, and
+                // `finish` closes any span the panic left open).
+                let result = catch_unwind(AssertUnwindSafe(|| trial_fn(trial, recorder.as_mut())));
+                if attempt > 0 {
+                    if let Some(rec) = recorder.as_mut() {
+                        rec.exit(Phase::Retry, 0);
+                    }
+                }
+                let attempt_outcome = match result {
+                    Ok(Ok(value)) => TrialOutcome::Completed(value),
+                    Ok(Err(AttackError::DeadlineExceeded { consumed, limit })) => {
+                        TrialOutcome::DeadlineExceeded { consumed, limit }
+                    }
+                    Ok(Err(error)) => TrialOutcome::Failed(error),
+                    Err(payload) => {
+                        let message = panic_message(payload.as_ref());
+                        last_payload = Some(payload);
+                        TrialOutcome::Panicked { message }
+                    }
+                };
+                let done = attempt_outcome.is_completed();
+                outcome = Some(attempt_outcome);
+                if done {
+                    break;
+                }
+            }
+            let outcome = outcome.expect("at least one attempt ran");
+
+            if let (TrialOutcome::Completed(value), Some((store, encode, _))) =
+                (&outcome, checkpoint)
+            {
+                if let Some(rec) = recorder.as_mut() {
+                    rec.enter(Phase::Checkpoint, 0);
+                }
+                if let Err(err) = store.append(index, &encode(value)) {
+                    // Losing persistence mid-run is campaign-fatal: a
+                    // caller trusting the checkpoint must never discover
+                    // at resume time that completions silently vanished.
+                    return Err(Box::new(format!(
+                        "checkpoint append failed for trial {index}: {err}"
+                    )));
+                }
+                if let Some(rec) = recorder.as_mut() {
+                    rec.event(
+                        0,
+                        ObsEvent::CheckpointAppended {
+                            trial: index as u64,
+                        },
+                    );
+                    rec.exit(Phase::Checkpoint, 0);
+                }
+            }
+
+            if outcome.is_completed() {
+                return Ok((outcome, finish(recorder)));
+            }
+            match self.policy {
+                FailurePolicy::Abort => Err(match (last_payload, &outcome) {
+                    (Some(payload), _) => payload,
+                    (None, TrialOutcome::Failed(error)) => Box::new(format!(
+                        "trial {index} failed under FailurePolicy::Abort: {error}"
+                    )),
+                    (None, TrialOutcome::DeadlineExceeded { consumed, limit }) => {
+                        Box::new(format!(
+                            "trial {index} exceeded its deadline under FailurePolicy::Abort: \
+                             {consumed} of {limit} steps"
+                        ))
+                    }
+                    (None, _) => unreachable!("panicked outcomes keep their payload"),
+                }),
+                FailurePolicy::Quarantine { max_failures } => {
+                    let failed_so_far = failures.fetch_add(1, Ordering::SeqCst) + 1;
+                    if failed_so_far > max_failures {
+                        return Err(Box::new(format!(
+                            "campaign aborted: {failed_so_far} failed trials exceed \
+                             FailurePolicy::Quarantine {{ max_failures: {max_failures} }}"
+                        )));
+                    }
+                    Ok((
+                        quarantine(outcome, index, recorder.as_mut()),
+                        finish(recorder),
+                    ))
+                }
+                FailurePolicy::Retry { .. } => {
+                    // Retries exhausted: the trial is written off exactly
+                    // like a quarantined one, without a cap — the retry
+                    // budget itself bounds the wasted work.
+                    Ok((
+                        quarantine(outcome, index, recorder.as_mut()),
+                        finish(recorder),
+                    ))
+                }
+            }
+        };
+
+        let workers = self.threads.min(self.trials);
+        if workers <= 1 || self.trials <= 1 {
+            let mut slots = Vec::with_capacity(self.trials);
+            for index in 0..self.trials {
+                match run_one(index) {
+                    Ok(slot) => slots.push(slot),
+                    Err(payload) => resume_unwind(payload),
+                }
+            }
+            return merge_slots(slots.into_iter().map(Some).collect());
+        }
+
+        let next = AtomicUsize::new(0);
+        let abort = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut completed = Vec::new();
+                        loop {
+                            if abort.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            let index = next.fetch_add(1, Ordering::Relaxed);
+                            if index >= self.trials {
+                                break;
+                            }
+                            match run_one(index) {
+                                Ok(slot) => completed.push((index, slot)),
+                                Err(payload) => {
+                                    abort.store(true, Ordering::SeqCst);
+                                    return Err(payload);
+                                }
+                            }
+                        }
+                        Ok(completed)
+                    })
+                })
+                .collect();
+            let mut slots: Vec<Option<Slot<T>>> = (0..self.trials).map(|_| None).collect();
+            let mut first_panic = None;
+            for handle in handles {
+                match handle
+                    .join()
+                    .expect("campaign worker died outside a trial closure")
+                {
+                    Ok(completed) => {
+                        for (index, slot) in completed {
+                            slots[index] = Some(slot);
+                        }
+                    }
+                    Err(payload) => {
+                        if first_panic.is_none() {
+                            first_panic = Some(payload);
+                        }
+                    }
+                }
+            }
+            if let Some(payload) = first_panic {
+                resume_unwind(payload);
+            }
+            merge_slots(slots)
+        })
+    }
+}
+
+/// A caught panic payload.
+type Payload = Box<dyn Any + Send + 'static>;
+
+/// One finished trial: its outcome plus its recorder's aggregate.
+type Slot<T> = (TrialOutcome<T>, Option<Metrics>);
+
+/// Checkpoint store + encode + decode, as passed through the engine.
+type Codec<'a, T> = (
+    &'a CampaignCheckpoint,
+    &'a (dyn Fn(&T) -> String + Sync),
+    &'a (dyn Fn(&str) -> Option<T> + Sync),
+);
+
+/// Type anchor so `run_supervised[_observed]` can pass `None` for the
+/// checkpoint parameter without a turbofish at every call site.
+type PlainCodec<'a, T> = Codec<'a, T>;
+
+/// The RNG stream for one attempt of one trial. Attempt 0 is the trial's
+/// own stream — byte-identical to [`Campaign::run`] — and attempt `k` is
+/// the `k`-th [`Rng::split`] drawn from a fresh copy of that stream, so
+/// every retry sees fresh deterministic randomness that depends only on
+/// `(master_seed, index, attempt)`, never on other trials or timing.
+fn attempt_rng(master_seed: u64, index: usize, attempt: usize) -> Rng {
+    let mut parent = Rng::stream(master_seed, index as u64);
+    if attempt == 0 {
+        return parent;
+    }
+    let mut child = parent.split();
+    for _ in 1..attempt {
+        child = parent.split();
+    }
+    child
+}
+
+/// Marks a written-off trial in its recorder and passes the outcome on.
+fn quarantine<T>(
+    outcome: TrialOutcome<T>,
+    index: usize,
+    recorder: Option<&mut Recorder>,
+) -> TrialOutcome<T> {
+    if let Some(rec) = recorder {
+        rec.enter(Phase::Quarantine, 0);
+        rec.event(
+            0,
+            ObsEvent::TrialQuarantined {
+                trial: index as u64,
+            },
+        );
+        rec.exit(Phase::Quarantine, 0);
+    }
+    outcome
+}
+
+/// Closes a trial recorder and extracts its aggregate.
+fn finish(recorder: Option<Recorder>) -> Option<Metrics> {
+    recorder.map(|mut rec| {
+        rec.finish();
+        rec.metrics()
+    })
+}
+
+/// Splits finished slots into index-ordered outcomes and merged metrics.
+fn merge_slots<T>(slots: Vec<Option<Slot<T>>>) -> (Vec<TrialOutcome<T>>, Metrics) {
+    let mut outcomes = Vec::with_capacity(slots.len());
+    let mut metrics = Metrics::default();
+    for slot in slots {
+        let (outcome, trial_metrics) = slot.expect("every trial index was claimed");
+        if let Some(trial_metrics) = trial_metrics {
+            metrics.merge(&trial_metrics);
+        }
+        outcomes.push(outcome);
+    }
+    (outcomes, metrics)
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
 }
 
 #[cfg(test)]
@@ -362,6 +944,305 @@ mod tests {
             drained < trials / 2,
             "abort flag must stop the queue from draining: {drained}/{trials} trials ran"
         );
+    }
+
+    #[test]
+    fn supervised_completions_match_plain_run_exactly() {
+        let plain = Campaign::new(12).master_seed(7).run(trial_signature);
+        for threads in [1, 2, 8] {
+            let supervised = Campaign::new(12)
+                .master_seed(7)
+                .threads(threads)
+                .run_supervised(|trial| Ok(trial_signature(trial)));
+            let values: Vec<_> = supervised
+                .into_iter()
+                .map(|o| o.into_completed().expect("all trials complete"))
+                .collect();
+            assert_eq!(plain, values, "diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn quarantine_records_typed_outcomes_and_continues() {
+        let outcomes = Campaign::new(10)
+            .threads(4)
+            .failure_policy(FailurePolicy::Quarantine { max_failures: 10 })
+            .run_supervised(|trial| match trial.index {
+                2 => panic!("trial 2 lost its enclave"),
+                5 => Err(AttackError::NotCalibrated),
+                7 => Err(AttackError::DeadlineExceeded {
+                    consumed: 600,
+                    limit: 500,
+                }),
+                i => Ok(i),
+            });
+        assert_eq!(outcomes.len(), 10);
+        assert_eq!(
+            outcomes[2],
+            TrialOutcome::Panicked {
+                message: "trial 2 lost its enclave".into()
+            }
+        );
+        assert_eq!(
+            outcomes[5],
+            TrialOutcome::Failed(AttackError::NotCalibrated)
+        );
+        assert_eq!(
+            outcomes[7],
+            TrialOutcome::DeadlineExceeded {
+                consumed: 600,
+                limit: 500
+            }
+        );
+        let completed = outcomes.iter().filter(|o| o.is_completed()).count();
+        assert_eq!(completed, 7);
+    }
+
+    #[test]
+    fn quarantine_capacity_overflow_aborts() {
+        let result = std::panic::catch_unwind(|| {
+            Campaign::new(8)
+                .failure_policy(FailurePolicy::Quarantine { max_failures: 2 })
+                .run_supervised(|trial| -> Result<usize, AttackError> {
+                    Err(AttackError::NotCalibrated).map(|()| trial.index)
+                })
+        });
+        let payload = result.expect_err("third failure must abort");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("abort payload is a message");
+        assert!(message.contains("max_failures: 2"), "{message}");
+    }
+
+    #[test]
+    fn abort_policy_reraises_the_original_panic_payload() {
+        let result = std::panic::catch_unwind(|| {
+            Campaign::new(8).threads(2).run_supervised(|trial| {
+                if trial.index == 3 {
+                    panic!("supervised abort keeps the payload");
+                }
+                Ok(trial.index)
+            })
+        });
+        let payload = result.expect_err("Abort policy must propagate");
+        assert_eq!(
+            payload.downcast_ref::<&str>().copied(),
+            Some("supervised abort keeps the payload")
+        );
+    }
+
+    #[test]
+    fn retry_draws_fresh_substreams_without_perturbing_neighbours() {
+        use std::sync::Mutex;
+        // Trial 4 fails on its first two attempts; every attempt logs the
+        // first u64 of its stream so we can pin the sub-stream schedule.
+        let draws: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+        let attempts = AtomicUsize::new(0);
+        let outcomes = Campaign::new(8)
+            .master_seed(0xbeef)
+            .failure_policy(FailurePolicy::Retry { budget: 3 })
+            .run_supervised(|mut trial| {
+                let first = trial.rng.next_u64();
+                if trial.index == 4 {
+                    draws.lock().unwrap().push(first);
+                    if attempts.fetch_add(1, Ordering::SeqCst) < 2 {
+                        return Err(AttackError::NotCalibrated);
+                    }
+                }
+                Ok((trial.index, first))
+            });
+        assert!(outcomes.iter().all(|o| o.is_completed()));
+        // Attempt 0 uses the stream plain `run` would; later attempts draw
+        // distinct deterministic sub-streams.
+        let expected_first = Rng::stream(0xbeef, 4).next_u64();
+        let logged = draws.lock().unwrap().clone();
+        assert_eq!(logged.len(), 3);
+        assert_eq!(logged[0], expected_first);
+        assert_ne!(logged[1], logged[0]);
+        assert_ne!(logged[2], logged[1]);
+        assert_eq!(logged[1], attempt_rng(0xbeef, 4, 1).next_u64());
+        assert_eq!(logged[2], attempt_rng(0xbeef, 4, 2).next_u64());
+        // Neighbouring trials still completed on their untouched streams.
+        assert_eq!(
+            outcomes[3].completed(),
+            Some(&(3, Rng::stream(0xbeef, 3).next_u64()))
+        );
+    }
+
+    #[test]
+    fn supervised_outcomes_are_thread_count_oblivious() {
+        let supervised = |threads: usize| {
+            Campaign::new(16)
+                .master_seed(0x50f7)
+                .threads(threads)
+                .failure_policy(FailurePolicy::Quarantine { max_failures: 16 })
+                .run_supervised(|mut trial| {
+                    let value = trial.rng.next_u64();
+                    if trial.index % 5 == 3 {
+                        return Err(AttackError::NotCalibrated);
+                    }
+                    Ok(value)
+                })
+        };
+        let baseline = supervised(1);
+        for threads in [2, 8] {
+            assert_eq!(baseline, supervised(threads), "diverged at {threads}");
+        }
+    }
+
+    #[test]
+    fn supervised_observed_emits_lifecycle_events_deterministically() {
+        use nv_obs::EventKind;
+        let run = |threads: usize| {
+            Campaign::new(9)
+                .master_seed(3)
+                .threads(threads)
+                .failure_policy(FailurePolicy::Retry { budget: 1 })
+                .run_supervised_observed(64, |trial, recorder| {
+                    recorder.event(
+                        1,
+                        ObsEvent::BtbAllocate {
+                            pc: trial.index as u64,
+                            target: 0,
+                        },
+                    );
+                    // Trials 1 and 6 fail every attempt; trial 4 would
+                    // fail only if retries shared streams with attempt 0.
+                    if trial.index == 1 || trial.index == 6 {
+                        return Err(AttackError::NotCalibrated);
+                    }
+                    Ok(trial.index)
+                })
+        };
+        let (outcomes, metrics) = run(1);
+        assert_eq!(outcomes.iter().filter(|o| o.is_completed()).count(), 7);
+        // 2 failing trials × 1 retry each.
+        assert_eq!(metrics.count(EventKind::TrialRetried), 2);
+        assert_eq!(metrics.count(EventKind::TrialQuarantined), 2);
+        // Each failing trial ran twice, each success once: 7 + 4 events.
+        assert_eq!(metrics.count(EventKind::BtbAllocate), 11);
+        assert_eq!(metrics.phase(Phase::Quarantine).unwrap().count, 2);
+        assert_eq!(metrics.trials, 9);
+        for threads in [2, 8] {
+            let (other_outcomes, other_metrics) = run(threads);
+            assert_eq!(outcomes, other_outcomes, "outcomes diverged at {threads}");
+            assert_eq!(
+                metrics.to_json(),
+                other_metrics.to_json(),
+                "metrics diverged at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn deadline_is_delivered_to_trials_and_armable() {
+        use nv_uarch::{Core, UarchConfig};
+        let outcomes = Campaign::new(2)
+            .deadline_steps(50)
+            .failure_policy(FailurePolicy::Quarantine { max_failures: 2 })
+            .run_supervised(|trial| {
+                assert_eq!(trial.deadline, Some(50));
+                let mut core = Core::new(UarchConfig::default());
+                trial.arm(&mut core);
+                assert_eq!(core.watchdog(), Some((0, 50)));
+                Ok(trial.index)
+            });
+        assert!(outcomes.iter().all(|o| o.is_completed()));
+        // Without deadline_steps, trials see None and arm() is a no-op.
+        Campaign::new(1)
+            .run_supervised(|trial| {
+                assert_eq!(trial.deadline, None);
+                let mut core = Core::new(UarchConfig::default());
+                trial.arm(&mut core);
+                assert_eq!(core.watchdog(), None);
+                Ok(())
+            })
+            .into_iter()
+            .for_each(|o| assert!(o.is_completed()));
+    }
+
+    #[test]
+    fn worker_count_is_clamped_to_the_trial_count() {
+        // 64 requested workers over 3 trials must not spawn idle threads
+        // or change results — both engines clamp to min(threads, trials).
+        let plain = Campaign::new(3)
+            .master_seed(9)
+            .threads(64)
+            .run(trial_signature);
+        assert_eq!(plain, Campaign::new(3).master_seed(9).run(trial_signature));
+        let supervised = Campaign::new(3)
+            .master_seed(9)
+            .threads(64)
+            .run_supervised(|trial| Ok(trial_signature(trial)));
+        let values: Vec<_> = supervised
+            .into_iter()
+            .map(|o| o.into_completed().unwrap())
+            .collect();
+        assert_eq!(plain, values);
+    }
+
+    fn ckpt_path(name: &str) -> std::path::PathBuf {
+        let mut path = std::env::temp_dir();
+        path.push(format!("nv_campaign_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    fn encode_u64(v: &u64) -> String {
+        v.to_string()
+    }
+
+    fn decode_u64(s: &str) -> Option<u64> {
+        s.parse().ok()
+    }
+
+    #[test]
+    fn resume_skips_checkpointed_trials_and_matches_an_uninterrupted_run() {
+        let campaign = Campaign::new(12).master_seed(0xcafe).threads(4);
+        let trial_fn = |mut trial: Trial| Ok(trial.rng.next_u64());
+        let uninterrupted = campaign.run_supervised(trial_fn);
+
+        let path = ckpt_path("resume_prefix");
+        let key = campaign.checkpoint_key(0x1234);
+        {
+            // Pre-seed the checkpoint with a prefix of completed trials, as
+            // if the process died after trial 5.
+            let ckpt = CampaignCheckpoint::open(&path, key).unwrap();
+            for (index, outcome) in uninterrupted.iter().take(6).enumerate() {
+                ckpt.append(index, &encode_u64(outcome.completed().unwrap()))
+                    .unwrap();
+            }
+        }
+        let ckpt = CampaignCheckpoint::open(&path, key).unwrap();
+        let executed = AtomicUsize::new(0);
+        let resumed = campaign.resume(&ckpt, encode_u64, decode_u64, |trial| {
+            executed.fetch_add(1, Ordering::SeqCst);
+            trial_fn(trial)
+        });
+        assert_eq!(resumed, uninterrupted);
+        assert_eq!(executed.load(Ordering::SeqCst), 6, "prefix must be skipped");
+        // The checkpoint now covers every trial; a further resume runs none.
+        let ckpt = CampaignCheckpoint::open(&path, key).unwrap();
+        assert_eq!(ckpt.completed_trials(), 12);
+        let resumed = campaign.resume(&ckpt, encode_u64, decode_u64, |_| {
+            panic!("no trial should run once the checkpoint is complete")
+        });
+        assert_eq!(resumed, uninterrupted);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_rejects_a_checkpoint_for_a_different_campaign() {
+        let path = ckpt_path("resume_mismatch");
+        let key = Campaign::new(8).master_seed(1).checkpoint_key(0);
+        let ckpt = CampaignCheckpoint::open(&path, key).unwrap();
+        let other = Campaign::new(9).master_seed(1);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            other.resume(&ckpt, encode_u64, decode_u64, |_| Ok(0))
+        }));
+        assert!(result.is_err(), "trial-count mismatch must be rejected");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -1,0 +1,516 @@
+//! Zero-dependency campaign checkpointing.
+//!
+//! A [`CampaignCheckpoint`] is an append-only JSONL file recording the
+//! results of completed trials so an interrupted campaign can be resumed
+//! without redoing finished work ([`Campaign::resume`]). The format is
+//! built for crash tolerance, not generality:
+//!
+//! * **Framing** — every line is `{"len": N, "crc": C, "body": {...}}`
+//!   where `N` is the body's byte length and `C` its FNV-1a 64 checksum.
+//!   A record torn by a crash mid-append fails the frame check and is
+//!   dropped (with a warning) instead of poisoning the resume; records
+//!   *after* the first bad one are dropped too, because an append-only
+//!   log has nothing trustworthy past its first tear.
+//! * **Keying** — the first line is a header carrying the campaign's
+//!   master seed, trial count and a caller-supplied config fingerprint
+//!   ([`CheckpointKey`]). Opening a checkpoint under a different key is a
+//!   typed error, so results from one experiment can never silently leak
+//!   into another.
+//! * **Payloads** — trial results are stored as caller-encoded strings
+//!   (escaped into JSON). The resume path re-decodes them; a trial whose
+//!   payload fails to decode is simply re-run.
+//!
+//! Everything is hand-rolled `std`: no serde, no external crates, per the
+//! workspace's offline-build constraint.
+//!
+//! [`Campaign::resume`]: crate::campaign::Campaign::resume
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Format magic carried in every checkpoint header.
+pub const CHECKPOINT_MAGIC: &str = "nv-campaign-checkpoint-v1";
+
+/// FNV-1a 64-bit hash — the checkpoint's frame checksum and the
+/// recommended way to fingerprint a config description string.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Identity of the campaign a checkpoint belongs to. Two campaigns with
+/// the same key produce interchangeable checkpoints; any difference makes
+/// [`CampaignCheckpoint::open`] refuse the file.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CheckpointKey {
+    /// The campaign's master seed.
+    pub master_seed: u64,
+    /// The campaign's trial count.
+    pub trials: u64,
+    /// Caller-supplied fingerprint of everything else that shapes a
+    /// trial's result (attack config, victim, noise model...). Hash a
+    /// canonical description string with [`fnv1a64`].
+    pub config_fingerprint: u64,
+}
+
+/// Why a checkpoint could not be opened.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem-level failure.
+    Io(std::io::Error),
+    /// The file exists but its header is missing or unreadable — it is
+    /// not a checkpoint (or it tore before the header landed).
+    BadHeader {
+        /// The offending file.
+        path: PathBuf,
+    },
+    /// The file is a valid checkpoint for a *different* campaign.
+    KeyMismatch {
+        /// The key the caller expected.
+        expected: CheckpointKey,
+        /// The key found in the file's header.
+        found: CheckpointKey,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(err) => write!(f, "checkpoint I/O failed: {err}"),
+            CheckpointError::BadHeader { path } => {
+                write!(f, "{} is not a campaign checkpoint", path.display())
+            }
+            CheckpointError::KeyMismatch { expected, found } => write!(
+                f,
+                "checkpoint belongs to a different campaign: expected \
+                 seed {:#x}/{} trials/config {:#x}, found seed {:#x}/{} trials/config {:#x}",
+                expected.master_seed,
+                expected.trials,
+                expected.config_fingerprint,
+                found.master_seed,
+                found.trials,
+                found.config_fingerprint,
+            ),
+        }
+    }
+}
+
+impl Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CheckpointError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(err: std::io::Error) -> Self {
+        CheckpointError::Io(err)
+    }
+}
+
+/// An open, validated campaign checkpoint: the completed-trial records
+/// loaded at open time plus an append handle for new completions.
+///
+/// Appends go through an internal mutex, so a shared `&CampaignCheckpoint`
+/// is safe to use from every campaign worker. The in-memory view is a
+/// snapshot from open time; re-open the file to observe records appended
+/// since (the resume path does exactly that).
+#[derive(Debug)]
+pub struct CampaignCheckpoint {
+    path: PathBuf,
+    key: CheckpointKey,
+    completed: BTreeMap<usize, String>,
+    dropped: usize,
+    writer: Mutex<File>,
+}
+
+impl CampaignCheckpoint {
+    /// Opens (creating if absent) the checkpoint at `path` for the
+    /// campaign identified by `key`.
+    ///
+    /// Existing records are loaded and validated; truncated or corrupt
+    /// trailing records are dropped with a warning on stderr (their count
+    /// is available as [`CampaignCheckpoint::dropped_records`]).
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::KeyMismatch`] if the file belongs to a different
+    /// campaign, [`CheckpointError::BadHeader`] if it is not a checkpoint
+    /// at all, [`CheckpointError::Io`] on filesystem failure.
+    pub fn open(path: impl AsRef<Path>, key: CheckpointKey) -> Result<Self, CheckpointError> {
+        let path = path.as_ref().to_path_buf();
+        let mut existing = String::new();
+        match File::open(&path) {
+            Ok(mut file) => {
+                file.read_to_string(&mut existing)?;
+            }
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => {}
+            Err(err) => return Err(err.into()),
+        }
+
+        let mut completed = BTreeMap::new();
+        let mut dropped = 0usize;
+        let mut fresh = true;
+        if !existing.is_empty() {
+            fresh = false;
+            let total_lines = existing.split_terminator('\n').count();
+            let mut lines = existing.split_terminator('\n');
+            let header = lines
+                .next()
+                .and_then(parse_frame)
+                .and_then(parse_header)
+                .ok_or(CheckpointError::BadHeader { path: path.clone() })?;
+            if header != key {
+                return Err(CheckpointError::KeyMismatch {
+                    expected: key,
+                    found: header,
+                });
+            }
+            let mut good = 0usize;
+            for line in lines {
+                match parse_frame(line).and_then(parse_record) {
+                    Some((trial, data)) if (trial as u64) < key.trials => {
+                        // Later duplicates win: a record re-appended after
+                        // a resume supersedes the original.
+                        completed.insert(trial, data);
+                        good += 1;
+                    }
+                    // A torn frame, a checksum failure, or an out-of-range
+                    // index that happened to pass the checksum: everything
+                    // from here on is untrustworthy in an append-only log.
+                    _ => break,
+                }
+            }
+            dropped = total_lines - 1 - good;
+            if dropped > 0 {
+                eprintln!(
+                    "warning: checkpoint {}: dropped {} trailing corrupt/truncated record(s); \
+                     {} completed trial(s) retained",
+                    path.display(),
+                    dropped,
+                    completed.len()
+                );
+            }
+        }
+
+        let mut writer = OpenOptions::new().create(true).append(true).open(&path)?;
+        if fresh {
+            let body = format!(
+                "{{\"magic\": \"{CHECKPOINT_MAGIC}\", \"seed\": {}, \"trials\": {}, \
+                 \"config\": {}}}",
+                key.master_seed, key.trials, key.config_fingerprint
+            );
+            writer.write_all(frame(&body).as_bytes())?;
+            writer.flush()?;
+        }
+
+        Ok(CampaignCheckpoint {
+            path,
+            key,
+            completed,
+            dropped,
+            writer: Mutex::new(writer),
+        })
+    }
+
+    /// The key this checkpoint was opened under.
+    pub fn key(&self) -> CheckpointKey {
+        self.key
+    }
+
+    /// The checkpoint's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of completed-trial records loaded at open time.
+    pub fn completed_trials(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// Whether `trial` had a valid record at open time.
+    pub fn has(&self, trial: usize) -> bool {
+        self.completed.contains_key(&trial)
+    }
+
+    /// The encoded payload recorded for `trial` at open time, if any.
+    pub fn data(&self, trial: usize) -> Option<&str> {
+        self.completed.get(&trial).map(String::as_str)
+    }
+
+    /// Corrupt/truncated trailing records dropped at open time.
+    pub fn dropped_records(&self) -> usize {
+        self.dropped
+    }
+
+    /// Appends a completed trial's encoded result. Thread-safe; the whole
+    /// framed line lands in one `write_all`, so a crash can tear at most
+    /// the final record — exactly what the loader tolerates.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures.
+    pub fn append(&self, trial: usize, data: &str) -> std::io::Result<()> {
+        let body = format!("{{\"trial\": {trial}, \"data\": \"{}\"}}", escape(data));
+        let line = frame(&body);
+        let mut writer = self.writer.lock().expect("checkpoint writer poisoned");
+        writer.write_all(line.as_bytes())?;
+        writer.flush()
+    }
+}
+
+/// Wraps a record body in the length- and checksum-framed line format.
+fn frame(body: &str) -> String {
+    format!(
+        "{{\"len\": {}, \"crc\": {}, \"body\": {body}}}\n",
+        body.len(),
+        fnv1a64(body.as_bytes())
+    )
+}
+
+/// Validates one line's framing and returns the body on success.
+fn parse_frame(line: &str) -> Option<&str> {
+    let rest = line.strip_prefix("{\"len\": ")?;
+    let (len, rest) = take_u64(rest)?;
+    let rest = rest.strip_prefix(", \"crc\": ")?;
+    let (crc, rest) = take_u64(rest)?;
+    let rest = rest.strip_prefix(", \"body\": ")?;
+    let body = rest.strip_suffix('}')?;
+    (body.len() as u64 == len && fnv1a64(body.as_bytes()) == crc).then_some(body)
+}
+
+/// Parses a header body into its key.
+fn parse_header(body: &str) -> Option<CheckpointKey> {
+    let rest = body.strip_prefix("{\"magic\": \"")?;
+    let rest = rest.strip_prefix(CHECKPOINT_MAGIC)?;
+    let rest = rest.strip_prefix("\", \"seed\": ")?;
+    let (master_seed, rest) = take_u64(rest)?;
+    let rest = rest.strip_prefix(", \"trials\": ")?;
+    let (trials, rest) = take_u64(rest)?;
+    let rest = rest.strip_prefix(", \"config\": ")?;
+    let (config_fingerprint, rest) = take_u64(rest)?;
+    (rest == "}").then_some(CheckpointKey {
+        master_seed,
+        trials,
+        config_fingerprint,
+    })
+}
+
+/// Parses a completed-trial record body.
+fn parse_record(body: &str) -> Option<(usize, String)> {
+    let rest = body.strip_prefix("{\"trial\": ")?;
+    let (trial, rest) = take_u64(rest)?;
+    let rest = rest.strip_prefix(", \"data\": \"")?;
+    let escaped = rest.strip_suffix("\"}")?;
+    Some((usize::try_from(trial).ok()?, unescape(escaped)?))
+}
+
+/// Consumes a decimal u64 prefix.
+fn take_u64(text: &str) -> Option<(u64, &str)> {
+    let digits = text.len() - text.trim_start_matches(|c: char| c.is_ascii_digit()).len();
+    if digits == 0 {
+        return None;
+    }
+    let value = text[..digits].parse().ok()?;
+    Some((value, &text[digits..]))
+}
+
+/// JSON-string-escapes a payload.
+fn escape(data: &str) -> String {
+    let mut out = String::with_capacity(data.len());
+    for ch in data.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverse of [`escape`]; `None` on malformed escapes.
+fn unescape(escaped: &str) -> Option<String> {
+    let mut out = String::with_capacity(escaped.len());
+    let mut chars = escaped.chars();
+    while let Some(ch) = chars.next() {
+        if ch != '\\' {
+            out.push(ch);
+            continue;
+        }
+        match chars.next()? {
+            '"' => out.push('"'),
+            '\\' => out.push('\\'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            't' => out.push('\t'),
+            'u' => {
+                let code: String = (&mut chars).take(4).collect();
+                if code.len() != 4 {
+                    return None;
+                }
+                let value = u32::from_str_radix(&code, 16).ok()?;
+                out.push(char::from_u32(value)?);
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut path = std::env::temp_dir();
+        path.push(format!("nv_ckpt_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    fn key() -> CheckpointKey {
+        CheckpointKey {
+            master_seed: 0xabcd,
+            trials: 10,
+            config_fingerprint: fnv1a64(b"unit-test-config"),
+        }
+    }
+
+    #[test]
+    fn roundtrips_records_across_reopen() {
+        let path = temp_path("roundtrip");
+        {
+            let ckpt = CampaignCheckpoint::open(&path, key()).unwrap();
+            assert_eq!(ckpt.completed_trials(), 0);
+            ckpt.append(3, "thirty-three").unwrap();
+            ckpt.append(0, "zero \"quoted\" \\ backslash\nnewline")
+                .unwrap();
+        }
+        let ckpt = CampaignCheckpoint::open(&path, key()).unwrap();
+        assert_eq!(ckpt.completed_trials(), 2);
+        assert_eq!(ckpt.data(3), Some("thirty-three"));
+        assert_eq!(ckpt.data(0), Some("zero \"quoted\" \\ backslash\nnewline"));
+        assert!(!ckpt.has(1));
+        assert_eq!(ckpt.dropped_records(), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn key_mismatch_is_rejected() {
+        let path = temp_path("mismatch");
+        drop(CampaignCheckpoint::open(&path, key()).unwrap());
+        let other = CheckpointKey {
+            master_seed: 0x9999,
+            ..key()
+        };
+        match CampaignCheckpoint::open(&path, other) {
+            Err(CheckpointError::KeyMismatch { expected, found }) => {
+                assert_eq!(expected, other);
+                assert_eq!(found, key());
+            }
+            other => panic!("expected KeyMismatch, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn non_checkpoint_file_is_a_bad_header() {
+        let path = temp_path("badheader");
+        std::fs::write(&path, "this is not a checkpoint\n").unwrap();
+        assert!(matches!(
+            CampaignCheckpoint::open(&path, key()),
+            Err(CheckpointError::BadHeader { .. })
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_trailing_record_is_dropped_not_fatal() {
+        let path = temp_path("torn");
+        {
+            let ckpt = CampaignCheckpoint::open(&path, key()).unwrap();
+            ckpt.append(1, "one").unwrap();
+            ckpt.append(2, "two").unwrap();
+        }
+        // Simulate a crash mid-append: half a framed line, no newline.
+        let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+        file.write_all(b"{\"len\": 999, \"crc\": 123, \"body\": {\"tri")
+            .unwrap();
+        drop(file);
+        let ckpt = CampaignCheckpoint::open(&path, key()).unwrap();
+        assert_eq!(ckpt.completed_trials(), 2);
+        assert_eq!(ckpt.dropped_records(), 1);
+        assert_eq!(ckpt.data(2), Some("two"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn records_after_a_corrupt_one_are_dropped_too() {
+        let path = temp_path("tail");
+        {
+            let ckpt = CampaignCheckpoint::open(&path, key()).unwrap();
+            ckpt.append(1, "one").unwrap();
+        }
+        // A checksum-failing line followed by a well-formed record: the
+        // well-formed one is *after* the tear, so it must not be trusted.
+        let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+        file.write_all(b"{\"len\": 5, \"crc\": 1, \"body\": {\"x\": 1}}\n")
+            .unwrap();
+        drop(file);
+        {
+            let ckpt = CampaignCheckpoint::open(&path, key()).unwrap();
+            ckpt.append(4, "four-after-tear").unwrap();
+        }
+        let ckpt = CampaignCheckpoint::open(&path, key()).unwrap();
+        assert_eq!(ckpt.completed_trials(), 1);
+        assert!(!ckpt.has(4));
+        assert!(ckpt.dropped_records() >= 2, "{}", ckpt.dropped_records());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn out_of_range_trial_index_counts_as_corruption() {
+        let path = temp_path("range");
+        {
+            let ckpt = CampaignCheckpoint::open(&path, key()).unwrap();
+            ckpt.append(99, "beyond the trial count").unwrap();
+        }
+        let ckpt = CampaignCheckpoint::open(&path, key()).unwrap();
+        assert_eq!(ckpt.completed_trials(), 0);
+        assert_eq!(ckpt.dropped_records(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn escape_roundtrip_covers_control_chars() {
+        let nasty = "a\"b\\c\nd\re\tf\u{1}g";
+        assert_eq!(unescape(&escape(nasty)).as_deref(), Some(nasty));
+        assert!(unescape("broken \\q escape").is_none());
+        assert!(unescape("truncated \\u00").is_none());
+    }
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+}

@@ -15,7 +15,14 @@ pub enum ProbeFailureCause {
     /// than the checkpoint syscall.
     ChainWedged,
     /// The step budget ran out before the chain reached its checkpoint.
-    StepBudgetExhausted,
+    StepBudgetExhausted {
+        /// Steps consumed when the run gave up (in the budget's own unit:
+        /// retirement steps for a chain run, slices/steps for the NV-U and
+        /// NV-S outer loops).
+        consumed: u64,
+        /// The budget that was exhausted, in the same unit.
+        limit: u64,
+    },
     /// The LBR held no record for a window's jump (or no record after it)
     /// when the measurement was read back.
     LbrRecordMissing,
@@ -26,13 +33,17 @@ pub enum ProbeFailureCause {
 
 impl fmt::Display for ProbeFailureCause {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let text = match self {
-            ProbeFailureCause::ChainWedged => "the snippet chain wedged",
-            ProbeFailureCause::StepBudgetExhausted => "the step budget was exhausted",
-            ProbeFailureCause::LbrRecordMissing => "an expected LBR record is missing",
-            ProbeFailureCause::LbrRecordAmbiguous => "duplicate LBR records match the jump",
-        };
-        f.write_str(text)
+        match self {
+            ProbeFailureCause::ChainWedged => f.write_str("the snippet chain wedged"),
+            ProbeFailureCause::StepBudgetExhausted { consumed, limit } => write!(
+                f,
+                "the step budget was exhausted ({consumed} of {limit} steps consumed)"
+            ),
+            ProbeFailureCause::LbrRecordMissing => f.write_str("an expected LBR record is missing"),
+            ProbeFailureCause::LbrRecordAmbiguous => {
+                f.write_str("duplicate LBR records match the jump")
+            }
+        }
     }
 }
 
@@ -71,8 +82,20 @@ pub enum AttackError {
     RetriesExhausted {
         /// Retries spent before giving up.
         retries: usize,
+        /// The retry budget that was available.
+        budget: usize,
         /// The failure that ended the last attempt.
         last: ProbeFailureCause,
+    },
+    /// A supervised trial blew through its watchdog deadline
+    /// ([`nv_uarch::Core::arm_watchdog`]): the per-trial retirement-step
+    /// budget expired before the attack reached a checkpoint, marking the
+    /// enclave or probe chain as wedged.
+    DeadlineExceeded {
+        /// Retirement steps consumed since the watchdog was armed.
+        consumed: u64,
+        /// The armed step budget.
+        limit: u64,
     },
     /// The rig was probed before [`crate::AttackerRig::calibrate`].
     NotCalibrated,
@@ -115,9 +138,17 @@ impl fmt::Display for AttackError {
                 }
                 Ok(())
             }
-            AttackError::RetriesExhausted { retries, last } => write!(
+            AttackError::RetriesExhausted {
+                retries,
+                budget,
+                last,
+            } => write!(
                 f,
-                "robust probe gave up after {retries} retries; last failure: {last}"
+                "robust probe gave up after {retries} of {budget} retries; last failure: {last}"
+            ),
+            AttackError::DeadlineExceeded { consumed, limit } => write!(
+                f,
+                "watchdog deadline exceeded: {consumed} retirement steps consumed of a {limit}-step budget"
             ),
             AttackError::NotCalibrated => {
                 write!(f, "attacker rig must be calibrated before probing")
@@ -154,6 +185,22 @@ impl AttackError {
             cause,
         }
     }
+
+    /// Returns [`AttackError::DeadlineExceeded`] if the core's watchdog is
+    /// armed and its step budget has expired, `Ok(())` otherwise (including
+    /// when no watchdog is armed, so unsupervised paths are exact no-ops).
+    ///
+    /// The attack layers call this at the top of their run loops; it is the
+    /// single point where a wedged enclave or probe chain is converted into
+    /// a typed outcome instead of an unbounded worker.
+    pub fn check_deadline(core: &nv_uarch::Core) -> Result<(), AttackError> {
+        match core.watchdog() {
+            Some((consumed, limit)) if consumed >= limit => {
+                Err(AttackError::DeadlineExceeded { consumed, limit })
+            }
+            _ => Ok(()),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -179,7 +226,15 @@ mod tests {
             },
             AttackError::RetriesExhausted {
                 retries: 8,
-                last: ProbeFailureCause::StepBudgetExhausted,
+                budget: 8,
+                last: ProbeFailureCause::StepBudgetExhausted {
+                    consumed: 96,
+                    limit: 96,
+                },
+            },
+            AttackError::DeadlineExceeded {
+                consumed: 5_021,
+                limit: 5_000,
             },
             AttackError::NotCalibrated,
             AttackError::ChainExceedsLbr {
@@ -190,6 +245,33 @@ mod tests {
         for err in samples {
             assert!(!err.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn budget_counts_surface_in_display() {
+        let retries = AttackError::RetriesExhausted {
+            retries: 3,
+            budget: 8,
+            last: ProbeFailureCause::StepBudgetExhausted {
+                consumed: 80,
+                limit: 80,
+            },
+        };
+        let text = retries.to_string();
+        assert!(text.contains("3 of 8"), "{text}");
+        assert!(text.contains("80 of 80"), "{text}");
+        let deadline = AttackError::DeadlineExceeded {
+            consumed: 512,
+            limit: 500,
+        };
+        let text = deadline.to_string();
+        assert!(text.contains("512") && text.contains("500"), "{text}");
+    }
+
+    #[test]
+    fn check_deadline_is_a_no_op_without_a_watchdog() {
+        let core = nv_uarch::Core::new(nv_uarch::UarchConfig::default());
+        assert_eq!(AttackError::check_deadline(&core), Ok(()));
     }
 
     #[test]

@@ -29,7 +29,14 @@
 //! * [`campaign`] — the multi-threaded trial-campaign engine: fans noisy
 //!   Prime+Probe trials out across worker threads with per-trial
 //!   `nv_rand` child streams, merging results in trial-index order so
-//!   aggregates are byte-identical for any thread count.
+//!   aggregates are byte-identical for any thread count. Its supervised
+//!   paths (`run_supervised`, `resume`) add fault tolerance: per-trial
+//!   panic/error/deadline outcomes under a configurable
+//!   [`FailurePolicy`], watchdog step budgets armed on the core, and
+//!   [`checkpoint`]-backed resume that skips completed trials;
+//! * [`checkpoint`] — zero-dependency, crash-tolerant campaign
+//!   checkpointing (length- and checksum-framed JSONL keyed by master
+//!   seed, trial count and config fingerprint).
 //!
 //! Every attack layer is instrumented for the [`nv_obs`] observability
 //! crate: attach a recorder to the `Core` (`Core::attach_obs`) and the
@@ -44,6 +51,7 @@
 
 pub mod baselines;
 pub mod campaign;
+pub mod checkpoint;
 mod error;
 pub mod fingerprint;
 mod nv_core;
@@ -54,6 +62,8 @@ mod rig;
 pub mod seq_fingerprint;
 pub mod trace;
 
+pub use campaign::{FailurePolicy, TrialOutcome};
+pub use checkpoint::{CampaignCheckpoint, CheckpointError, CheckpointKey};
 pub use error::{AttackError, ProbeFailureCause};
 pub use nv_core::NvCore;
 pub use nv_supervisor::{ExtractedTrace, NvSupervisor, StepMeasurement, SupervisorConfig};

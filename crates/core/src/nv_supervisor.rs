@@ -274,6 +274,7 @@ impl NvSupervisor {
         let mut steps = Vec::new();
         let mut current_page = None;
         for _ in 0..self.config.max_steps {
+            AttackError::check_deadline(core)?;
             match enclave.single_step(core) {
                 step if matches!(step.exit, StepExit::PageFault { .. }) => {
                     let StepExit::PageFault { page } = step.exit else {
@@ -311,7 +312,10 @@ impl NvSupervisor {
             }
         }
         Err(AttackError::probe_failed(
-            ProbeFailureCause::StepBudgetExhausted,
+            ProbeFailureCause::StepBudgetExhausted {
+                consumed: self.config.max_steps as u64,
+                limit: self.config.max_steps as u64,
+            },
         ))
     }
 
@@ -475,6 +479,7 @@ impl NvSupervisor {
                         };
                         return Err(AttackError::RetriesExhausted {
                             retries: retries_used,
+                            budget: resilience.retry_budget,
                             last: cause,
                         });
                     }
@@ -519,6 +524,7 @@ impl NvSupervisor {
         // iteration retires exactly one instruction and `index` can double as
         // the step budget counter.
         for index in 0..self.config.max_steps {
+            AttackError::check_deadline(core)?;
             if index >= steps.len() {
                 return Ok(());
             }
@@ -574,7 +580,10 @@ impl NvSupervisor {
             }
         }
         Err(AttackError::probe_failed(
-            ProbeFailureCause::StepBudgetExhausted,
+            ProbeFailureCause::StepBudgetExhausted {
+                consumed: self.config.max_steps as u64,
+                limit: self.config.max_steps as u64,
+            },
         ))
     }
 }

@@ -233,6 +233,9 @@ impl NvUser {
         self.rig.calibrate(system.core_mut())?;
         let mut readings = Vec::new();
         for _ in 0..max_slices {
+            // Supervised trials bound the whole leak, victim slices
+            // included: a victim that never exits shows up here.
+            AttackError::check_deadline(system.core())?;
             // Preemptive-scheduling imperfection: occasionally the attacker
             // gets scheduled again before the victim makes progress.
             if self.noise.excess_preemption_prob > 0.0
@@ -256,7 +259,10 @@ impl NvUser {
             }
         }
         Err(AttackError::probe_failed(
-            ProbeFailureCause::StepBudgetExhausted,
+            ProbeFailureCause::StepBudgetExhausted {
+                consumed: max_slices as u64,
+                limit: max_slices as u64,
+            },
         ))
     }
 

@@ -452,6 +452,7 @@ impl AttackerRig {
                             core.obs_exit(Phase::Vote);
                             return Err(AttackError::RetriesExhausted {
                                 retries: retries_used,
+                                budget: resilience.retry_budget,
                                 last: cause,
                             });
                         }
@@ -518,6 +519,10 @@ impl AttackerRig {
     }
 
     fn run_chain(&mut self, core: &mut Core) -> Result<(), AttackError> {
+        // A supervised trial whose watchdog already expired must not start
+        // another pass: the chain run itself is step-bounded, but the retry
+        // and voting loops above would otherwise spin on it indefinitely.
+        AttackError::check_deadline(core)?;
         self.machine.state_mut().set_pc(self.entry);
         // The attacker is context-switched in: transient front-end state is
         // gone, predictor contents (the signal) survive.
@@ -526,7 +531,10 @@ impl AttackerRig {
         match core.run(&mut self.machine, budget) {
             RunExit::Syscall(code) if code == CHECKPOINT => Ok(()),
             RunExit::StepLimit => Err(AttackError::probe_failed(
-                ProbeFailureCause::StepBudgetExhausted,
+                ProbeFailureCause::StepBudgetExhausted {
+                    consumed: budget,
+                    limit: budget,
+                },
             )),
             _ => Err(AttackError::probe_failed(ProbeFailureCause::ChainWedged)),
         }
@@ -808,8 +816,13 @@ mod tests {
             )
             .unwrap_err();
         match err {
-            AttackError::RetriesExhausted { retries, last } => {
+            AttackError::RetriesExhausted {
+                retries,
+                budget,
+                last,
+            } => {
                 assert_eq!(retries, 2);
+                assert_eq!(budget, 2);
                 assert_eq!(last, ProbeFailureCause::ChainWedged);
             }
             other => panic!("expected RetriesExhausted, got {other:?}"),

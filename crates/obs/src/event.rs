@@ -98,6 +98,31 @@ pub enum ObsEvent {
         /// Penalty charged, in cycles.
         penalty: u64,
     },
+    /// A supervised campaign retried a failed trial on a fresh
+    /// deterministic sub-stream of its RNG.
+    TrialRetried {
+        /// Trial index within the campaign.
+        trial: u64,
+        /// The retry attempt number (1 = first retry).
+        attempt: u64,
+    },
+    /// A supervised campaign quarantined a trial: its final attempt failed
+    /// and the campaign carried on without it.
+    TrialQuarantined {
+        /// Trial index within the campaign.
+        trial: u64,
+    },
+    /// A campaign checkpoint persisted a completed trial's result.
+    CheckpointAppended {
+        /// Trial index within the campaign.
+        trial: u64,
+    },
+    /// A resumed campaign skipped a trial whose result was already in its
+    /// checkpoint.
+    CheckpointResumed {
+        /// Trial index within the campaign.
+        trial: u64,
+    },
 }
 
 /// The event's kind — a dense index for counter arrays and a stable name
@@ -124,11 +149,19 @@ pub enum EventKind {
     InjectedJitter,
     /// [`ObsEvent::InjectedSquash`].
     InjectedSquash,
+    /// [`ObsEvent::TrialRetried`].
+    TrialRetried,
+    /// [`ObsEvent::TrialQuarantined`].
+    TrialQuarantined,
+    /// [`ObsEvent::CheckpointAppended`].
+    CheckpointAppended,
+    /// [`ObsEvent::CheckpointResumed`].
+    CheckpointResumed,
 }
 
 impl EventKind {
     /// Number of kinds (the counter-array length).
-    pub const COUNT: usize = 10;
+    pub const COUNT: usize = 14;
 
     /// Every kind, in counter order.
     pub const ALL: [EventKind; EventKind::COUNT] = [
@@ -142,7 +175,26 @@ impl EventKind {
         EventKind::Resteer,
         EventKind::InjectedJitter,
         EventKind::InjectedSquash,
+        EventKind::TrialRetried,
+        EventKind::TrialQuarantined,
+        EventKind::CheckpointAppended,
+        EventKind::CheckpointResumed,
     ];
+
+    /// Whether this kind is emitted by the campaign fault-tolerance layer
+    /// rather than the simulated microarchitecture. Lifecycle kinds are
+    /// omitted from metrics JSON when their count is zero, so metrics from
+    /// unsupervised runs render byte-identically to before these kinds
+    /// existed.
+    pub fn is_campaign_lifecycle(self) -> bool {
+        matches!(
+            self,
+            EventKind::TrialRetried
+                | EventKind::TrialQuarantined
+                | EventKind::CheckpointAppended
+                | EventKind::CheckpointResumed
+        )
+    }
 
     /// Dense index in `0..COUNT`.
     pub fn index(self) -> usize {
@@ -162,6 +214,10 @@ impl EventKind {
             EventKind::Resteer => "resteer",
             EventKind::InjectedJitter => "injected_jitter",
             EventKind::InjectedSquash => "injected_squash",
+            EventKind::TrialRetried => "trial_retried",
+            EventKind::TrialQuarantined => "trial_quarantined",
+            EventKind::CheckpointAppended => "checkpoint_appended",
+            EventKind::CheckpointResumed => "checkpoint_resumed",
         }
     }
 }
@@ -180,6 +236,10 @@ impl ObsEvent {
             ObsEvent::Resteer { .. } => EventKind::Resteer,
             ObsEvent::InjectedJitter { .. } => EventKind::InjectedJitter,
             ObsEvent::InjectedSquash { .. } => EventKind::InjectedSquash,
+            ObsEvent::TrialRetried { .. } => EventKind::TrialRetried,
+            ObsEvent::TrialQuarantined { .. } => EventKind::TrialQuarantined,
+            ObsEvent::CheckpointAppended { .. } => EventKind::CheckpointAppended,
+            ObsEvent::CheckpointResumed { .. } => EventKind::CheckpointResumed,
         }
     }
 
@@ -244,6 +304,14 @@ impl ObsEvent {
             ObsEvent::InjectedSquash { pc, penalty } => {
                 format!("{{\"pc\": \"{pc:#x}\", \"penalty\": {penalty}}}")
             }
+            ObsEvent::TrialRetried { trial, attempt } => {
+                format!("{{\"trial\": {trial}, \"attempt\": {attempt}}}")
+            }
+            ObsEvent::TrialQuarantined { trial }
+            | ObsEvent::CheckpointAppended { trial }
+            | ObsEvent::CheckpointResumed { trial } => {
+                format!("{{\"trial\": {trial}}}")
+            }
         }
     }
 }
@@ -265,6 +333,24 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), EventKind::COUNT);
+    }
+
+    #[test]
+    fn lifecycle_kinds_are_exactly_the_campaign_ones() {
+        let lifecycle: Vec<_> = EventKind::ALL
+            .iter()
+            .filter(|k| k.is_campaign_lifecycle())
+            .map(|k| k.name())
+            .collect();
+        assert_eq!(
+            lifecycle,
+            [
+                "trial_retried",
+                "trial_quarantined",
+                "checkpoint_appended",
+                "checkpoint_resumed"
+            ]
+        );
     }
 
     #[test]

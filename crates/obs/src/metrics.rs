@@ -34,6 +34,12 @@ pub enum Phase {
     Retry,
     /// One campaign trial, end to end.
     Trial,
+    /// A quarantined trial's final (failed) attempt being written off by
+    /// the supervised campaign engine.
+    Quarantine,
+    /// Checkpoint I/O: appending a completed trial or loading completed
+    /// results during resume.
+    Checkpoint,
     /// Any other span, labelled by a static string.
     Custom(&'static str),
 }
@@ -50,6 +56,8 @@ impl Phase {
             Phase::Vote => "vote",
             Phase::Retry => "retry",
             Phase::Trial => "trial",
+            Phase::Quarantine => "quarantine",
+            Phase::Checkpoint => "checkpoint",
             Phase::Custom(name) => name,
         }
     }
@@ -240,8 +248,12 @@ impl Metrics {
     pub fn to_json(&self) -> String {
         let mut out = String::from("{");
         let _ = write!(out, "\"trials\": {}, \"events\": {{", self.trials);
+        // µarch kinds always render (zeros included); campaign-lifecycle
+        // kinds render only when nonzero, so unsupervised metrics are
+        // byte-identical to the pre-fault-tolerance format.
         let events: Vec<String> = EventKind::ALL
             .iter()
+            .filter(|kind| !kind.is_campaign_lifecycle() || self.count(**kind) > 0)
             .map(|kind| format!("\"{}\": {}", kind.name(), self.count(*kind)))
             .collect();
         out.push_str(&events.join(", "));
@@ -382,6 +394,23 @@ mod tests {
         };
         assert_eq!(build().to_json(), build().to_json());
         assert!(build().to_json().contains("\"btb_allocate\": 7"));
+    }
+
+    #[test]
+    fn lifecycle_counters_render_only_when_nonzero() {
+        let quiet = Metrics::default();
+        let json = quiet.to_json();
+        assert!(!json.contains("trial_retried"), "{json}");
+        assert!(!json.contains("checkpoint_appended"), "{json}");
+        assert!(json.contains("\"btb_allocate\": 0"), "{json}");
+
+        let mut supervised = Metrics::default();
+        supervised.event_counts[EventKind::TrialRetried.index()] = 2;
+        supervised.event_counts[EventKind::CheckpointResumed.index()] = 5;
+        let json = supervised.to_json();
+        assert!(json.contains("\"trial_retried\": 2"), "{json}");
+        assert!(json.contains("\"checkpoint_resumed\": 5"), "{json}");
+        assert!(!json.contains("trial_quarantined"), "{json}");
     }
 
     #[test]

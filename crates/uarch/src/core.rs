@@ -254,6 +254,21 @@ pub struct Core {
     /// Observability recorder; `None` (the default) costs one null check
     /// per emission site, so unobserved runs are provably unchanged.
     obs: Option<Box<Recorder>>,
+    /// Watchdog deadline; `None` (the default) means no supervision. The
+    /// watchdog never alters execution itself — it only exposes how many
+    /// retirement steps have elapsed since arming, and cooperative callers
+    /// (the attack layers' run loops) convert expiry into a typed error.
+    watchdog: Option<WatchdogState>,
+}
+
+/// Armed watchdog bookkeeping: consumption is derived from the step
+/// counter, so supervision adds zero cost to the retirement hot loop.
+#[derive(Clone, Copy, Debug)]
+struct WatchdogState {
+    /// Step budget granted at arming time.
+    limit: u64,
+    /// `stats.steps` when the watchdog was armed.
+    armed_at: u64,
 }
 
 impl Core {
@@ -270,7 +285,40 @@ impl Core {
             stats: CoreStats::default(),
             perturb: PerturbState::from_config(config.perturbation),
             obs: None,
+            watchdog: None,
         }
+    }
+
+    /// Arms (or re-arms) the watchdog with a budget of `limit_steps`
+    /// retirement steps, counted from the core's current step total.
+    ///
+    /// The watchdog is passive: stepping past the budget is not stopped
+    /// here. Callers running untrusted or potentially wedged workloads
+    /// poll [`Core::watchdog_expired`] (the attack layers do this at the
+    /// top of every run loop) and bail out with a typed deadline error.
+    pub fn arm_watchdog(&mut self, limit_steps: u64) {
+        self.watchdog = Some(WatchdogState {
+            limit: limit_steps,
+            armed_at: self.stats.steps,
+        });
+    }
+
+    /// Disarms the watchdog; consumption tracking stops.
+    pub fn disarm_watchdog(&mut self) {
+        self.watchdog = None;
+    }
+
+    /// `(consumed, limit)` for an armed watchdog — retirement steps spent
+    /// since arming against the armed budget — or `None` when disarmed.
+    pub fn watchdog(&self) -> Option<(u64, u64)> {
+        self.watchdog
+            .map(|w| (self.stats.steps.saturating_sub(w.armed_at), w.limit))
+    }
+
+    /// Whether an armed watchdog's budget is spent. Always `false` when
+    /// disarmed, so unsupervised paths behave exactly as before.
+    pub fn watchdog_expired(&self) -> bool {
+        matches!(self.watchdog(), Some((consumed, limit)) if consumed >= limit)
     }
 
     /// Reconfigures fault injection in place, restarting the injector's
@@ -968,6 +1016,48 @@ mod tests {
         let mut asm = Assembler::new(VirtAddr::new(0x40_0000));
         build(&mut asm);
         Machine::new(asm.finish().expect("assembly"))
+    }
+
+    #[test]
+    fn watchdog_tracks_step_consumption() {
+        let mut machine = assemble(|asm| {
+            for _ in 0..8 {
+                asm.nop();
+            }
+            asm.halt();
+        });
+        let mut core = fresh_core();
+        assert_eq!(core.watchdog(), None);
+        assert!(!core.watchdog_expired());
+        core.arm_watchdog(6);
+        assert_eq!(core.watchdog(), Some((0, 6)));
+        core.run(&mut machine, 3);
+        assert_eq!(core.watchdog(), Some((3, 6)));
+        assert!(!core.watchdog_expired());
+        core.run(&mut machine, 10);
+        let (consumed, limit) = core.watchdog().expect("still armed");
+        assert!(consumed >= limit, "{consumed} >= {limit}");
+        assert!(core.watchdog_expired());
+        core.disarm_watchdog();
+        assert_eq!(core.watchdog(), None);
+        assert!(!core.watchdog_expired());
+    }
+
+    #[test]
+    fn rearming_the_watchdog_resets_its_baseline() {
+        let mut machine = assemble(|asm| {
+            for _ in 0..8 {
+                asm.nop();
+            }
+            asm.halt();
+        });
+        let mut core = fresh_core();
+        core.arm_watchdog(2);
+        core.run(&mut machine, 4);
+        assert!(core.watchdog_expired());
+        core.arm_watchdog(100);
+        assert_eq!(core.watchdog(), Some((0, 100)));
+        assert!(!core.watchdog_expired());
     }
 
     #[test]
