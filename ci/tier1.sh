@@ -84,3 +84,32 @@ assert res["corruption"]["corrupt_record_dropped"] is True, \
 assert res["corruption"]["resume_identical"] is True, \
     f"resume after corruption diverged: {res['corruption']}"
 EOF
+
+# Campaign-server smoke: the load-test binary's own assertions gate
+# throughput census, typed overload rejection and SIGKILL-and-restart
+# digest identity at worker counts 1/2/8; on top, the emitted JSON must
+# parse, the census must cover every submitted job with zero untyped
+# failures, and both headline flags must be recorded as passing.
+./target/release/repro_serve --smoke
+python3 -m json.tool target/BENCH_serve_smoke.json > /dev/null
+python3 - <<'EOF'
+import json
+
+with open("target/BENCH_serve_smoke.json") as f:
+    serve = json.load(f)
+t = serve["throughput"]
+assert t["completed"] == t["small_jobs"] + t["nvs_jobs"], \
+    f"throughput census does not cover the load: {t}"
+assert t["untyped_failures"] == 0, f"a failure escaped the typed protocol: {t}"
+o = serve["overload"]
+assert o["overload_rejected_typed"] is True, f"overload rejections were not typed: {o}"
+assert o["accepted"] + o["rejected"] == o["attempts"], f"admission census does not balance: {o}"
+assert o["peak_queue_depth"] <= o["queue_cap"], \
+    f"queue depth {o['peak_queue_depth']} breached cap {o['queue_cap']}"
+r = serve["resume"]
+assert r["resume_identical"] is True, \
+    f"SIGKILL-and-restart digests diverged from the baseline: {r}"
+assert r["kill_effective"] is True, f"no jobs were in flight at the kill: {r}"
+assert [leg["workers"] for leg in r["legs"]] == [1, 2, 8], \
+    f"resume identity must be proven at worker counts 1/2/8: {r}"
+EOF

@@ -14,8 +14,9 @@
 //!    and resumed from the surviving file; output is byte-identical to
 //!    an uninterrupted run at 1, 2 and 8 worker threads;
 //! 4. **corruption** — a torn trailing checkpoint record plus a garbage
-//!    line are dropped with a warning, never fatal, and resume still
-//!    reproduces the baseline exactly.
+//!    line are dropped, counted in the typed `ResumeReport`, and
+//!    truncated away — never fatal — and resume still reproduces the
+//!    baseline exactly.
 //!
 //! Writes `BENCH_resilience.json` (override with `--out PATH` or
 //! `BENCH_RESILIENCE_OUT`). Flags: `--trials N` (default 42),

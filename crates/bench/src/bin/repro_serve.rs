@@ -1,0 +1,136 @@
+//! Extraction-as-a-service load test: throughput, overload and
+//! kill-the-server crash recovery against the nv-serve campaign server.
+//!
+//! Three demos (see [`nv_bench::serve_load`]):
+//!
+//! 1. **throughput** — a flood of concurrent small NV-Core jobs plus a
+//!    few full NV-S extractions; reports p50/p99 latency and jobs/sec
+//!    with a census proving every job completed and nothing failed
+//!    untyped;
+//! 2. **overload** — a tiny queue under a flood must answer the surplus
+//!    with *typed* `queue_full` rejections, the reported depth never
+//!    exceeding the cap, attempts = accepted + rejected exactly;
+//! 3. **kill/resume** — the server runs as a real child process
+//!    (this binary re-invoked with `--serve`) and is `SIGKILL`ed
+//!    mid-load; a restart on the same spool finishes every journaled
+//!    job with digests byte-identical to an uninterrupted baseline, at
+//!    server worker counts 1, 2 and 8.
+//!
+//! Writes `BENCH_serve.json` (override with `--out PATH` or
+//! `BENCH_SERVE_OUT`). Flags: `--jobs N` (small-job count),
+//! `--smoke` (smaller load, writes to `target/BENCH_serve_smoke.json`
+//! so CI does not dirty the checked-in baseline). `--serve --spool P
+//! --workers N` is the internal child-server mode.
+
+use std::path::PathBuf;
+
+use nv_bench::serve_load::{
+    overload_demo, resume_demo, serve_forever, throughput_demo, ServeReport,
+};
+use nv_bench::{arg_present, arg_value};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if arg_present(&args, "--serve") {
+        let spool =
+            PathBuf::from(arg_value(&args, "--spool").expect("--serve requires --spool PATH"));
+        let workers: usize = arg_value(&args, "--workers")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1);
+        serve_forever(&spool, workers);
+    }
+
+    let smoke = arg_present(&args, "--smoke");
+    let small_jobs: usize = arg_value(&args, "--jobs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 48 } else { 2500 })
+        .max(8);
+    let out_path = arg_value(&args, "--out")
+        .or_else(|| std::env::var("BENCH_SERVE_OUT").ok())
+        .unwrap_or_else(|| {
+            if smoke {
+                "target/BENCH_serve_smoke.json".to_string()
+            } else {
+                "BENCH_serve.json".to_string()
+            }
+        });
+
+    let (nvs_jobs, clients, workers) = if smoke { (1, 4, 2) } else { (3, 8, 4) };
+    let (resume_jobs, resume_trials) = if smoke { (4, 8) } else { (6, 12) };
+
+    println!(
+        "# extraction-as-a-service load test: {small_jobs} small job(s), {nvs_jobs} NV-S job(s), \
+         {clients} client(s), {workers} server worker(s)"
+    );
+
+    let throughput = throughput_demo(small_jobs, 2, nvs_jobs, clients, workers);
+    println!(
+        "throughput: {}/{} jobs completed, p50 {:.2} ms, p99 {:.2} ms, {:.1} jobs/s, \
+         {} untyped failure(s)",
+        throughput.completed,
+        throughput.small_jobs + throughput.nvs_jobs,
+        throughput.p50_ms,
+        throughput.p99_ms,
+        throughput.jobs_per_sec,
+        throughput.untyped_failures
+    );
+
+    let overload = overload_demo(24, 4, 3);
+    println!(
+        "overload: {} attempt(s) -> {} accepted + {} typed rejection(s), \
+         peak depth {} <= cap {}",
+        overload.attempts,
+        overload.accepted,
+        overload.rejected,
+        overload.peak_queue_depth,
+        overload.queue_cap
+    );
+
+    let exe = std::env::current_exe().expect("locate repro_serve binary");
+    let resume = resume_demo(&exe, &[1, 2, 8], resume_jobs, resume_trials);
+    for leg in &resume.legs {
+        println!(
+            "resume: workers {} -> {} job(s) resumed after SIGKILL, identical: {}",
+            leg.workers, leg.resumed, leg.identical
+        );
+    }
+
+    // The acceptance gates double as runtime assertions.
+    assert_eq!(
+        throughput.completed,
+        (throughput.small_jobs + throughput.nvs_jobs) as u64,
+        "throughput census does not cover the load"
+    );
+    assert_eq!(
+        throughput.untyped_failures, 0,
+        "a failure escaped the typed protocol"
+    );
+    assert!(
+        overload.rejections_typed,
+        "overload did not produce typed queue_full rejections"
+    );
+    assert!(overload.census_balanced, "overload census does not balance");
+    assert!(
+        resume.resume_identical(),
+        "kill-and-restart digests diverged from the uninterrupted baseline"
+    );
+    assert!(
+        resume.kill_effective,
+        "no leg had in-flight jobs at the kill; the demo proved nothing"
+    );
+
+    let report = ServeReport {
+        throughput,
+        overload,
+        resume,
+    };
+    let json = report.to_json();
+    if let Some(parent) = std::path::Path::new(&out_path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create output directory");
+        }
+    }
+    std::fs::write(&out_path, &json).expect("write BENCH_serve.json");
+    println!("\nresult: OK  (wrote {out_path})");
+}

@@ -15,6 +15,7 @@
 //! | `repro_ibrs` | §4.1 — IBRS/IBPB ineffectiveness |
 //! | `repro_obs_profile` | observability profile: NV-S phase breakdown, campaign metrics, disabled-overhead ≤ 2 % |
 //! | `repro_resilience` | fault tolerance: quarantine/retry/deadline outcomes, kill-and-resume checkpoint identity |
+//! | `repro_serve` | extraction-as-a-service: server throughput, typed overload rejection, SIGKILL-and-restart job identity |
 //!
 //! The library half holds the shared experiment plumbing so the binaries
 //! stay declarative.
@@ -27,6 +28,7 @@ pub mod microbench;
 pub mod noise;
 pub mod obs_profile;
 pub mod resilience;
+pub mod serve_load;
 
 use std::collections::BTreeSet;
 

@@ -16,8 +16,8 @@
 //!   process dies mid-run; the checkpoint survives) resumes to output
 //!   byte-identical to an uninterrupted run, at 1/2/8 worker threads;
 //! * **corruption** — a torn or garbage trailing checkpoint record is
-//!   dropped with a warning, never fatal, and resume still converges to
-//!   the identical output.
+//!   dropped, counted in the typed `ResumeReport`, and truncated away —
+//!   never fatal — and resume still converges to the identical output.
 //!
 //! Every aggregate is deterministic: trial streams come from
 //! `nv_rand::Rng::stream(master_seed, index)`, fault injection is keyed
@@ -394,8 +394,8 @@ pub struct CorruptionReport {
 
 /// Tears the final checkpoint record (simulating a crash mid-`write`) and
 /// appends garbage, then reopens and resumes: the damage must be dropped
-/// with a warning — never fatal — and the resumed output must still match
-/// the uninterrupted baseline.
+/// and reported in the typed `ResumeReport` — never fatal — and the
+/// resumed output must still match the uninterrupted baseline.
 ///
 /// # Panics
 ///

@@ -37,7 +37,7 @@ use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
-use nv_obs::{Metrics, ObsEvent, Phase, Recorder};
+use nv_obs::{EventKind, Metrics, ObsEvent, Phase, Recorder};
 use nv_rand::Rng;
 
 use crate::checkpoint::{CampaignCheckpoint, CheckpointKey};
@@ -170,11 +170,19 @@ impl Campaign {
         }
     }
 
-    /// Sets the worker-thread count (0 is treated as 1). The thread count
-    /// affects wall-clock time only, never results.
+    /// Sets the worker-thread count. `0` means "size for this host":
+    /// it resolves to [`std::thread::available_parallelism`] (falling
+    /// back to 1 if the host cannot report it), so servers can spawn
+    /// per-host-sized pools without config plumbing. The thread count
+    /// affects wall-clock time only, never results — `threads(0)` output
+    /// is byte-identical to any explicit count.
     #[must_use]
     pub fn threads(mut self, threads: usize) -> Campaign {
-        self.threads = threads.max(1);
+        self.threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            threads
+        };
         self
     }
 
@@ -457,7 +465,11 @@ impl Campaign {
     /// the supervised lifecycle events, skipped trials emit
     /// [`ObsEvent::CheckpointResumed`] and fresh completions emit
     /// [`ObsEvent::CheckpointAppended`], both under [`Phase::Checkpoint`]
-    /// spans, merged deterministically in trial-index order.
+    /// spans, merged deterministically in trial-index order. If the
+    /// checkpoint dropped a torn or corrupt tail when it was opened
+    /// ([`CampaignCheckpoint::resume_report`]), the merged metrics count
+    /// one [`EventKind::CheckpointTorn`] so daemons surface the damage in
+    /// scrapes instead of losing it on stderr.
     pub fn resume_observed<T, F, E, D>(
         &self,
         event_capacity: usize,
@@ -473,7 +485,7 @@ impl Campaign {
         D: Fn(&str) -> Option<T> + Sync,
     {
         self.assert_checkpoint_matches(checkpoint);
-        self.supervised_engine(
+        let (outcomes, mut metrics) = self.supervised_engine(
             Some(event_capacity),
             Some((checkpoint, &encode, &decode)),
             |trial, rec| {
@@ -482,7 +494,11 @@ impl Campaign {
                     rec.expect("observed engine always provides a recorder"),
                 )
             },
-        )
+        );
+        if checkpoint.resume_report().is_torn() {
+            metrics.event_counts[EventKind::CheckpointTorn.index()] += 1;
+        }
+        (outcomes, metrics)
     }
 
     fn assert_checkpoint_matches(&self, checkpoint: &CampaignCheckpoint) {
@@ -694,9 +710,16 @@ impl Campaign {
                             if index >= self.trials {
                                 break;
                             }
-                            match run_one(index) {
-                                Ok(slot) => completed.push((index, slot)),
-                                Err(payload) => {
+                            // `run_one` catches panics from the trial
+                            // closure, but the resume paths also run
+                            // caller-supplied encode/decode callbacks
+                            // outside that guard; catching here keeps
+                            // every escape route setting the abort flag
+                            // so surviving workers stop promptly instead
+                            // of draining the queue.
+                            match catch_unwind(AssertUnwindSafe(|| run_one(index))) {
+                                Ok(Ok(slot)) => completed.push((index, slot)),
+                                Ok(Err(payload)) | Err(payload) => {
                                     abort.store(true, Ordering::SeqCst);
                                     return Err(payload);
                                 }
@@ -1229,6 +1252,104 @@ mod tests {
             panic!("no trial should run once the checkpoint is complete")
         });
         assert_eq!(resumed, uninterrupted);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn threads_zero_resolves_to_host_parallelism_and_stays_byte_identical() {
+        let auto = Campaign::new(24).master_seed(9).threads(0);
+        let host = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        assert_eq!(auto.threads, host, "threads(0) must size for the host");
+        let auto_results = auto.run(trial_signature);
+        for explicit in [1, 2, 8] {
+            let results = Campaign::new(24)
+                .master_seed(9)
+                .threads(explicit)
+                .run(trial_signature);
+            assert_eq!(
+                auto_results, results,
+                "threads(0) diverged from threads({explicit})"
+            );
+        }
+    }
+
+    #[test]
+    fn panicking_decode_aborts_resume_instead_of_draining_the_queue() {
+        use std::sync::atomic::AtomicUsize;
+        // Mirrors `panicking_trial_aborts_instead_of_draining_the_queue`
+        // for the resume engine: the decode callback runs *outside* the
+        // per-trial catch_unwind, so its panic escapes `run_one` — the
+        // worker loop must still set the abort flag on that path instead
+        // of letting the surviving workers drain the queue.
+        let trials = 64;
+        let campaign = Campaign::new(trials).master_seed(3).threads(4);
+        let path = ckpt_path("resume_poisoned_decode");
+        let key = campaign.checkpoint_key(0);
+        {
+            let ckpt = CampaignCheckpoint::open(&path, key).unwrap();
+            ckpt.append(0, "poisoned").unwrap();
+        }
+        let ckpt = CampaignCheckpoint::open(&path, key).unwrap();
+        let drained = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            campaign.resume(
+                &ckpt,
+                encode_u64,
+                |s: &str| -> Option<u64> {
+                    if s == "poisoned" {
+                        panic!("poisoned checkpoint record");
+                    }
+                    s.parse().ok()
+                },
+                |trial| {
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                    drained.fetch_add(1, Ordering::SeqCst);
+                    Ok(trial.index as u64)
+                },
+            )
+        }));
+        assert!(result.is_err(), "a panicking decode must abort the resume");
+        let count = drained.load(Ordering::SeqCst);
+        assert!(
+            count < trials / 2,
+            "abort flag must stop resume from draining the queue: {count}/{trials} trials ran"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_observed_counts_a_torn_checkpoint_in_metrics() {
+        use nv_obs::EventKind;
+        let campaign = Campaign::new(4).master_seed(5);
+        let path = ckpt_path("resume_torn_metric");
+        let key = campaign.checkpoint_key(0);
+        {
+            let ckpt = CampaignCheckpoint::open(&path, key).unwrap();
+            ckpt.append(0, &encode_u64(&7)).unwrap();
+        }
+        {
+            use std::io::Write;
+            let mut file = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            file.write_all(b"torn tail with no newline").unwrap();
+        }
+        let ckpt = CampaignCheckpoint::open(&path, key).unwrap();
+        assert!(ckpt.resume_report().is_torn());
+        let trial_fn = |mut trial: Trial, _: &mut Recorder| -> Result<u64, AttackError> {
+            Ok(trial.rng.next_u64())
+        };
+        let (outcomes, metrics) =
+            campaign.resume_observed(16, &ckpt, encode_u64, decode_u64, trial_fn);
+        assert_eq!(outcomes.len(), 4);
+        assert_eq!(metrics.count(EventKind::CheckpointTorn), 1);
+        // Open-time recovery truncated the tail, so the next resume of the
+        // now-complete checkpoint reports an intact log and counts nothing.
+        let ckpt = CampaignCheckpoint::open(&path, key).unwrap();
+        assert!(!ckpt.resume_report().is_torn());
+        let (_, metrics) = campaign.resume_observed(16, &ckpt, encode_u64, decode_u64, trial_fn);
+        assert_eq!(metrics.count(EventKind::CheckpointTorn), 0);
         let _ = std::fs::remove_file(&path);
     }
 

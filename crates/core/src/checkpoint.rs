@@ -8,9 +8,12 @@
 //! * **Framing** — every line is `{"len": N, "crc": C, "body": {...}}`
 //!   where `N` is the body's byte length and `C` its FNV-1a 64 checksum.
 //!   A record torn by a crash mid-append fails the frame check and is
-//!   dropped (with a warning) instead of poisoning the resume; records
-//!   *after* the first bad one are dropped too, because an append-only
-//!   log has nothing trustworthy past its first tear.
+//!   dropped instead of poisoning the resume; records *after* the first
+//!   bad one are dropped too, because an append-only log has nothing
+//!   trustworthy past its first tear. The damage is surfaced as a typed
+//!   [`ResumeReport`] (and, on observed resume paths, as an
+//!   `nv_obs::ObsEvent::CheckpointTorn` metric) — never as an stderr
+//!   warning a daemonized server would lose.
 //! * **Keying** — the first line is a header carrying the campaign's
 //!   master seed, trial count and a caller-supplied config fingerprint
 //!   ([`CheckpointKey`]). Opening a checkpoint under a different key is a
@@ -45,6 +48,25 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
         hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
     }
     hash
+}
+
+/// What [`CampaignCheckpoint::open`] had to drop to recover a usable
+/// record set: the torn/corrupt trailing records of a crashed append, if
+/// any. Returned typed (instead of warned on stderr) so a long-running
+/// server can surface it in metrics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ResumeReport {
+    /// Trailing records dropped as torn or corrupt.
+    pub dropped_records: usize,
+    /// Bytes those dropped records spanned (newlines included).
+    pub dropped_bytes: u64,
+}
+
+impl ResumeReport {
+    /// Whether the file tail was damaged at all.
+    pub fn is_torn(&self) -> bool {
+        self.dropped_records > 0
+    }
 }
 
 /// Identity of the campaign a checkpoint belongs to. Two campaigns with
@@ -131,7 +153,7 @@ pub struct CampaignCheckpoint {
     path: PathBuf,
     key: CheckpointKey,
     completed: BTreeMap<usize, String>,
-    dropped: usize,
+    report: ResumeReport,
     writer: Mutex<File>,
 }
 
@@ -140,8 +162,10 @@ impl CampaignCheckpoint {
     /// campaign identified by `key`.
     ///
     /// Existing records are loaded and validated; truncated or corrupt
-    /// trailing records are dropped with a warning on stderr (their count
-    /// is available as [`CampaignCheckpoint::dropped_records`]).
+    /// trailing records are dropped, and the damage is reported typed via
+    /// [`CampaignCheckpoint::resume_report`] (count also available as
+    /// [`CampaignCheckpoint::dropped_records`]) so callers — in particular
+    /// the `nv-serve` campaign server — can surface it in metrics.
     ///
     /// # Errors
     ///
@@ -160,23 +184,29 @@ impl CampaignCheckpoint {
         }
 
         let mut completed = BTreeMap::new();
-        let mut dropped = 0usize;
+        let mut report = ResumeReport::default();
         let mut fresh = true;
         if !existing.is_empty() {
             fresh = false;
             let total_lines = existing.split_terminator('\n').count();
             let mut lines = existing.split_terminator('\n');
-            let header = lines
+            let header_line = lines
                 .next()
-                .and_then(parse_frame)
+                .ok_or_else(|| CheckpointError::BadHeader { path: path.clone() })?;
+            let header = parse_frame(header_line)
                 .and_then(parse_header)
-                .ok_or(CheckpointError::BadHeader { path: path.clone() })?;
+                .ok_or_else(|| CheckpointError::BadHeader { path: path.clone() })?;
             if header != key {
                 return Err(CheckpointError::KeyMismatch {
                     expected: key,
                     found: header,
                 });
             }
+            // Bytes covered by the header and every validated record;
+            // whatever the file holds beyond that is the torn tail. Every
+            // intact line ends in '\n' (the frame appends it), so +1 per
+            // retained line is exact.
+            let mut retained_bytes = header_line.len() + 1;
             let mut good = 0usize;
             for line in lines {
                 match parse_frame(line).and_then(parse_record) {
@@ -184,6 +214,7 @@ impl CampaignCheckpoint {
                         // Later duplicates win: a record re-appended after
                         // a resume supersedes the original.
                         completed.insert(trial, data);
+                        retained_bytes += line.len() + 1;
                         good += 1;
                     }
                     // A torn frame, a checksum failure, or an out-of-range
@@ -192,15 +223,16 @@ impl CampaignCheckpoint {
                     _ => break,
                 }
             }
-            dropped = total_lines - 1 - good;
-            if dropped > 0 {
-                eprintln!(
-                    "warning: checkpoint {}: dropped {} trailing corrupt/truncated record(s); \
-                     {} completed trial(s) retained",
-                    path.display(),
-                    dropped,
-                    completed.len()
-                );
+            report.dropped_records = total_lines - 1 - good;
+            report.dropped_bytes = (existing.len().saturating_sub(retained_bytes)) as u64;
+            // Physically truncate what we refused to trust: leaving the
+            // torn tail in place would glue the next append onto garbage,
+            // silently losing every post-recovery record at the *next*
+            // open — fatal for a server resuming the same job across
+            // repeated kills.
+            if report.dropped_bytes > 0 {
+                let repair = OpenOptions::new().write(true).open(&path)?;
+                repair.set_len(retained_bytes as u64)?;
             }
         }
 
@@ -219,7 +251,7 @@ impl CampaignCheckpoint {
             path,
             key,
             completed,
-            dropped,
+            report,
             writer: Mutex::new(writer),
         })
     }
@@ -251,7 +283,13 @@ impl CampaignCheckpoint {
 
     /// Corrupt/truncated trailing records dropped at open time.
     pub fn dropped_records(&self) -> usize {
-        self.dropped
+        self.report.dropped_records
+    }
+
+    /// The typed account of what open-time recovery had to drop. A fresh
+    /// or undamaged file reports all-zero.
+    pub fn resume_report(&self) -> ResumeReport {
+        self.report
     }
 
     /// Appends a completed trial's encoded result. Thread-safe; the whole
@@ -270,8 +308,11 @@ impl CampaignCheckpoint {
     }
 }
 
-/// Wraps a record body in the length- and checksum-framed line format.
-fn frame(body: &str) -> String {
+/// Wraps a record body in the length- and checksum-framed line format
+/// (`{"len": N, "crc": C, "body": ...}\n`). Public so other append-only
+/// stores — the `nv-serve` job journal — share the checkpoint's
+/// crash-tolerance framing instead of inventing their own.
+pub fn frame(body: &str) -> String {
     format!(
         "{{\"len\": {}, \"crc\": {}, \"body\": {body}}}\n",
         body.len(),
@@ -279,8 +320,9 @@ fn frame(body: &str) -> String {
     )
 }
 
-/// Validates one line's framing and returns the body on success.
-fn parse_frame(line: &str) -> Option<&str> {
+/// Validates one line's framing ([`frame`]'s inverse) and returns the
+/// body on success; `None` on a torn, truncated or checksum-failing line.
+pub fn parse_frame(line: &str) -> Option<&str> {
     let rest = line.strip_prefix("{\"len\": ")?;
     let (len, rest) = take_u64(rest)?;
     let rest = rest.strip_prefix(", \"crc\": ")?;
@@ -326,8 +368,8 @@ fn take_u64(text: &str) -> Option<(u64, &str)> {
     Some((value, &text[digits..]))
 }
 
-/// JSON-string-escapes a payload.
-fn escape(data: &str) -> String {
+/// JSON-string-escapes a payload for embedding in a framed record body.
+pub fn escape(data: &str) -> String {
     let mut out = String::with_capacity(data.len());
     for ch in data.chars() {
         match ch {
@@ -346,7 +388,7 @@ fn escape(data: &str) -> String {
 }
 
 /// Inverse of [`escape`]; `None` on malformed escapes.
-fn unescape(escaped: &str) -> Option<String> {
+pub fn unescape(escaped: &str) -> Option<String> {
     let mut out = String::with_capacity(escaped.len());
     let mut chars = escaped.chars();
     while let Some(ch) = chars.next() {
@@ -473,15 +515,57 @@ mod tests {
         let mut file = OpenOptions::new().append(true).open(&path).unwrap();
         file.write_all(b"{\"len\": 5, \"crc\": 1, \"body\": {\"x\": 1}}\n")
             .unwrap();
+        file.write_all(frame("{\"trial\": 3, \"data\": \"stale\"}").as_bytes())
+            .unwrap();
         drop(file);
-        {
-            let ckpt = CampaignCheckpoint::open(&path, key()).unwrap();
-            ckpt.append(4, "four-after-tear").unwrap();
-        }
         let ckpt = CampaignCheckpoint::open(&path, key()).unwrap();
         assert_eq!(ckpt.completed_trials(), 1);
-        assert!(!ckpt.has(4));
-        assert!(ckpt.dropped_records() >= 2, "{}", ckpt.dropped_records());
+        assert!(!ckpt.has(3));
+        assert_eq!(ckpt.dropped_records(), 2, "the tear and everything after");
+        // Recovery truncated the distrusted tail, so records appended
+        // *after* this open are on an intact log and survive the next one.
+        ckpt.append(4, "four-after-repair").unwrap();
+        drop(ckpt);
+        let ckpt = CampaignCheckpoint::open(&path, key()).unwrap();
+        assert_eq!(ckpt.completed_trials(), 2);
+        assert!(ckpt.has(4));
+        assert!(!ckpt.has(3), "the distrusted record must not resurface");
+        assert_eq!(ckpt.dropped_records(), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_report_accounts_records_and_bytes() {
+        let path = temp_path("report");
+        {
+            let ckpt = CampaignCheckpoint::open(&path, key()).unwrap();
+            ckpt.append(1, "one").unwrap();
+            assert_eq!(ckpt.resume_report(), ResumeReport::default());
+            assert!(!ckpt.resume_report().is_torn());
+        }
+        let intact_len = std::fs::metadata(&path).unwrap().len();
+        let garbage = b"{\"len\": 3, \"crc\": 9, \"body\": {\"x\"\nhalf a torn lin";
+        let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+        file.write_all(garbage).unwrap();
+        drop(file);
+        let ckpt = CampaignCheckpoint::open(&path, key()).unwrap();
+        let report = ckpt.resume_report();
+        assert!(report.is_torn());
+        assert_eq!(report.dropped_records, 2);
+        // The torn tail has no trailing newline, so the exact byte count
+        // (with the per-line +1 only for complete lines) must still cover
+        // everything past the last intact record.
+        assert_eq!(report.dropped_bytes, garbage.len() as u64);
+        // Recovery physically truncates the torn tail, so appends made
+        // after this open land on an intact log and the *next* open is
+        // clean — nothing recovered here is lost later.
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), intact_len);
+        ckpt.append(2, "two").unwrap();
+        drop(ckpt);
+        let reopened = CampaignCheckpoint::open(&path, key()).unwrap();
+        assert_eq!(reopened.resume_report(), ResumeReport::default());
+        assert_eq!(reopened.completed_trials(), 2);
+        assert_eq!(reopened.data(2), Some("two"));
         let _ = std::fs::remove_file(&path);
     }
 

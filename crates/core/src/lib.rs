@@ -63,7 +63,7 @@ pub mod seq_fingerprint;
 pub mod trace;
 
 pub use campaign::{FailurePolicy, TrialOutcome};
-pub use checkpoint::{CampaignCheckpoint, CheckpointError, CheckpointKey};
+pub use checkpoint::{CampaignCheckpoint, CheckpointError, CheckpointKey, ResumeReport};
 pub use error::{AttackError, ProbeFailureCause};
 pub use nv_core::NvCore;
 pub use nv_supervisor::{ExtractedTrace, NvSupervisor, StepMeasurement, SupervisorConfig};

@@ -123,6 +123,36 @@ pub enum ObsEvent {
         /// Trial index within the campaign.
         trial: u64,
     },
+    /// A checkpoint or journal file was reopened with a torn or corrupt
+    /// tail: the unreadable trailing records were dropped and their
+    /// trials/jobs will re-run. A daemonized server surfaces this in its
+    /// metrics instead of losing it on stderr.
+    CheckpointTorn {
+        /// Records dropped from the file's tail.
+        records: u64,
+        /// Bytes those records spanned.
+        bytes: u64,
+    },
+    /// The campaign server admitted a job past admission control.
+    JobAdmitted {
+        /// Server-assigned job id.
+        job: u64,
+    },
+    /// The campaign server rejected a submission with a typed reason.
+    JobRejected {
+        /// Stable snake_case label of the rejection reason.
+        reason: &'static str,
+    },
+    /// A restarted campaign server re-enqueued a journaled in-flight job.
+    JobResumed {
+        /// Server-assigned job id.
+        job: u64,
+    },
+    /// The campaign server finished a job (all trials accounted for).
+    JobCompleted {
+        /// Server-assigned job id.
+        job: u64,
+    },
 }
 
 /// The event's kind — a dense index for counter arrays and a stable name
@@ -157,11 +187,21 @@ pub enum EventKind {
     CheckpointAppended,
     /// [`ObsEvent::CheckpointResumed`].
     CheckpointResumed,
+    /// [`ObsEvent::CheckpointTorn`].
+    CheckpointTorn,
+    /// [`ObsEvent::JobAdmitted`].
+    JobAdmitted,
+    /// [`ObsEvent::JobRejected`].
+    JobRejected,
+    /// [`ObsEvent::JobResumed`].
+    JobResumed,
+    /// [`ObsEvent::JobCompleted`].
+    JobCompleted,
 }
 
 impl EventKind {
     /// Number of kinds (the counter-array length).
-    pub const COUNT: usize = 14;
+    pub const COUNT: usize = 19;
 
     /// Every kind, in counter order.
     pub const ALL: [EventKind; EventKind::COUNT] = [
@@ -179,6 +219,11 @@ impl EventKind {
         EventKind::TrialQuarantined,
         EventKind::CheckpointAppended,
         EventKind::CheckpointResumed,
+        EventKind::CheckpointTorn,
+        EventKind::JobAdmitted,
+        EventKind::JobRejected,
+        EventKind::JobResumed,
+        EventKind::JobCompleted,
     ];
 
     /// Whether this kind is emitted by the campaign fault-tolerance layer
@@ -193,6 +238,21 @@ impl EventKind {
                 | EventKind::TrialQuarantined
                 | EventKind::CheckpointAppended
                 | EventKind::CheckpointResumed
+        )
+    }
+
+    /// Whether this kind is emitted by the extraction-service layer
+    /// (`nv-serve`) rather than the simulated microarchitecture. Like the
+    /// campaign-lifecycle kinds, these are omitted from metrics JSON when
+    /// zero so pre-service metrics render byte-identically.
+    pub fn is_service_lifecycle(self) -> bool {
+        matches!(
+            self,
+            EventKind::CheckpointTorn
+                | EventKind::JobAdmitted
+                | EventKind::JobRejected
+                | EventKind::JobResumed
+                | EventKind::JobCompleted
         )
     }
 
@@ -218,6 +278,11 @@ impl EventKind {
             EventKind::TrialQuarantined => "trial_quarantined",
             EventKind::CheckpointAppended => "checkpoint_appended",
             EventKind::CheckpointResumed => "checkpoint_resumed",
+            EventKind::CheckpointTorn => "checkpoint_torn",
+            EventKind::JobAdmitted => "job_admitted",
+            EventKind::JobRejected => "job_rejected",
+            EventKind::JobResumed => "job_resumed",
+            EventKind::JobCompleted => "job_completed",
         }
     }
 }
@@ -240,6 +305,11 @@ impl ObsEvent {
             ObsEvent::TrialQuarantined { .. } => EventKind::TrialQuarantined,
             ObsEvent::CheckpointAppended { .. } => EventKind::CheckpointAppended,
             ObsEvent::CheckpointResumed { .. } => EventKind::CheckpointResumed,
+            ObsEvent::CheckpointTorn { .. } => EventKind::CheckpointTorn,
+            ObsEvent::JobAdmitted { .. } => EventKind::JobAdmitted,
+            ObsEvent::JobRejected { .. } => EventKind::JobRejected,
+            ObsEvent::JobResumed { .. } => EventKind::JobResumed,
+            ObsEvent::JobCompleted { .. } => EventKind::JobCompleted,
         }
     }
 
@@ -312,6 +382,17 @@ impl ObsEvent {
             | ObsEvent::CheckpointResumed { trial } => {
                 format!("{{\"trial\": {trial}}}")
             }
+            ObsEvent::CheckpointTorn { records, bytes } => {
+                format!("{{\"records\": {records}, \"bytes\": {bytes}}}")
+            }
+            ObsEvent::JobAdmitted { job }
+            | ObsEvent::JobResumed { job }
+            | ObsEvent::JobCompleted { job } => {
+                format!("{{\"job\": {job}}}")
+            }
+            ObsEvent::JobRejected { reason } => {
+                format!("{{\"reason\": \"{reason}\"}}")
+            }
         }
     }
 }
@@ -351,6 +432,29 @@ mod tests {
                 "checkpoint_resumed"
             ]
         );
+    }
+
+    #[test]
+    fn service_lifecycle_kinds_are_exactly_the_serve_ones() {
+        let service: Vec<_> = EventKind::ALL
+            .iter()
+            .filter(|k| k.is_service_lifecycle())
+            .map(|k| k.name())
+            .collect();
+        assert_eq!(
+            service,
+            [
+                "checkpoint_torn",
+                "job_admitted",
+                "job_rejected",
+                "job_resumed",
+                "job_completed"
+            ]
+        );
+        // The two lifecycle families are disjoint.
+        assert!(!EventKind::ALL
+            .iter()
+            .any(|k| k.is_campaign_lifecycle() && k.is_service_lifecycle()));
     }
 
     #[test]

@@ -40,6 +40,14 @@ pub enum Phase {
     /// Checkpoint I/O: appending a completed trial or loading completed
     /// results during resume.
     Checkpoint,
+    /// Admission control on the campaign server: quota/queue checks for
+    /// one submission.
+    Admission,
+    /// One server job, end to end (admission to completion record).
+    Job,
+    /// The campaign server draining: admission closed, in-flight jobs
+    /// finishing.
+    Drain,
     /// Any other span, labelled by a static string.
     Custom(&'static str),
 }
@@ -58,6 +66,9 @@ impl Phase {
             Phase::Trial => "trial",
             Phase::Quarantine => "quarantine",
             Phase::Checkpoint => "checkpoint",
+            Phase::Admission => "admission",
+            Phase::Job => "job",
+            Phase::Drain => "drain",
             Phase::Custom(name) => name,
         }
     }
@@ -248,12 +259,15 @@ impl Metrics {
     pub fn to_json(&self) -> String {
         let mut out = String::from("{");
         let _ = write!(out, "\"trials\": {}, \"events\": {{", self.trials);
-        // µarch kinds always render (zeros included); campaign-lifecycle
-        // kinds render only when nonzero, so unsupervised metrics are
-        // byte-identical to the pre-fault-tolerance format.
+        // µarch kinds always render (zeros included); campaign- and
+        // service-lifecycle kinds render only when nonzero, so unsupervised
+        // metrics are byte-identical to the pre-fault-tolerance format.
         let events: Vec<String> = EventKind::ALL
             .iter()
-            .filter(|kind| !kind.is_campaign_lifecycle() || self.count(**kind) > 0)
+            .filter(|kind| {
+                (!kind.is_campaign_lifecycle() && !kind.is_service_lifecycle())
+                    || self.count(**kind) > 0
+            })
             .map(|kind| format!("\"{}\": {}", kind.name(), self.count(*kind)))
             .collect();
         out.push_str(&events.join(", "));
@@ -402,7 +416,17 @@ mod tests {
         let json = quiet.to_json();
         assert!(!json.contains("trial_retried"), "{json}");
         assert!(!json.contains("checkpoint_appended"), "{json}");
+        assert!(!json.contains("checkpoint_torn"), "{json}");
+        assert!(!json.contains("job_admitted"), "{json}");
         assert!(json.contains("\"btb_allocate\": 0"), "{json}");
+
+        let mut served = Metrics::default();
+        served.event_counts[EventKind::JobAdmitted.index()] = 3;
+        served.event_counts[EventKind::CheckpointTorn.index()] = 1;
+        let json = served.to_json();
+        assert!(json.contains("\"job_admitted\": 3"), "{json}");
+        assert!(json.contains("\"checkpoint_torn\": 1"), "{json}");
+        assert!(!json.contains("job_rejected"), "{json}");
 
         let mut supervised = Metrics::default();
         supervised.event_counts[EventKind::TrialRetried.index()] = 2;

@@ -1,0 +1,236 @@
+//! A blocking client for the campaign server.
+//!
+//! One [`Client`] wraps one TCP connection. [`Client::submit`] returns
+//! the assigned job id (or the typed rejection); the caller then drains
+//! the update stream with [`Client::next_update`] until the terminal
+//! [`Response::Done`] (or an error frame). [`Client::submit_and_wait`]
+//! does the whole dance and hands back the final report plus every
+//! streamed trial update.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::proto::{JobReport, RejectReason, Request, Response, ServerStats, TrialUpdate};
+use crate::wire::{read_frame, write_frame, WireError};
+
+/// Everything a client call can fail with.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ClientError {
+    /// Transport or framing failure.
+    Wire(WireError),
+    /// The server answered with a frame the call did not expect.
+    Unexpected {
+        /// What arrived instead.
+        got: String,
+    },
+    /// The server reported a job failure.
+    Server {
+        /// The server's error detail.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Wire(err) => write!(f, "wire error: {err}"),
+            ClientError::Unexpected { got } => write!(f, "unexpected response: {got}"),
+            ClientError::Server { detail } => write!(f, "server error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(err: WireError) -> Self {
+        ClientError::Wire(err)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(err: std::io::Error) -> Self {
+        ClientError::Wire(WireError::Io(err.kind()))
+    }
+}
+
+/// What a submission came back as.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Submission {
+    /// Admitted; trial updates will stream on this connection.
+    Accepted {
+        /// The server-assigned job id.
+        job: u64,
+    },
+    /// Refused, with the typed reason.
+    Rejected(RejectReason),
+}
+
+/// A finished job as seen from the client side.
+#[derive(Clone, PartialEq, Debug)]
+pub struct FinishedJob {
+    /// The final report.
+    pub report: JobReport,
+    /// Every trial update streamed before the report, in arrival order.
+    pub updates: Vec<TrialUpdate>,
+}
+
+/// One blocking connection to a campaign server.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure connecting.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Sets (or clears) the read timeout for responses.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure configuring the socket.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    fn send(&mut self, request: &Request) -> Result<(), ClientError> {
+        write_frame(&mut self.stream, &request.encode())?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Response, ClientError> {
+        let payload = read_frame(&mut self.stream)?;
+        Ok(Response::decode(&payload)?)
+    }
+
+    /// Submits a job and reads the admission verdict.
+    ///
+    /// # Errors
+    ///
+    /// Wire failure, or a frame that is neither `accepted` nor
+    /// `rejected`.
+    pub fn submit(
+        &mut self,
+        tenant: &str,
+        spec: &crate::job::JobSpec,
+    ) -> Result<Submission, ClientError> {
+        self.send(&Request::Submit {
+            tenant: tenant.to_string(),
+            spec: *spec,
+        })?;
+        match self.recv()? {
+            Response::Accepted { job } => Ok(Submission::Accepted { job }),
+            Response::Rejected { reason } => Ok(Submission::Rejected(reason)),
+            Response::Error { detail } => Err(ClientError::Server { detail }),
+            other => Err(ClientError::Unexpected {
+                got: other.encode(),
+            }),
+        }
+    }
+
+    /// Reads the next frame of an accepted job's update stream.
+    ///
+    /// Returns `Trial` updates until the terminal `Done`; after `Done`
+    /// the stream is finished and the connection is reusable.
+    ///
+    /// # Errors
+    ///
+    /// Wire failure, a server `error` frame, or an out-of-protocol frame.
+    pub fn next_update(&mut self) -> Result<Response, ClientError> {
+        match self.recv()? {
+            update @ (Response::Trial(_) | Response::Done(_)) => Ok(update),
+            Response::Error { detail } => Err(ClientError::Server { detail }),
+            other => Err(ClientError::Unexpected {
+                got: other.encode(),
+            }),
+        }
+    }
+
+    /// Submits and, if accepted, blocks until the job finishes.
+    ///
+    /// # Errors
+    ///
+    /// Anything [`Client::submit`] or [`Client::next_update`] can fail
+    /// with.
+    pub fn submit_and_wait(
+        &mut self,
+        tenant: &str,
+        spec: &crate::job::JobSpec,
+    ) -> Result<Result<FinishedJob, RejectReason>, ClientError> {
+        match self.submit(tenant, spec)? {
+            Submission::Rejected(reason) => Ok(Err(reason)),
+            Submission::Accepted { .. } => {
+                let mut updates = Vec::new();
+                loop {
+                    match self.next_update()? {
+                        Response::Trial(update) => updates.push(update),
+                        Response::Done(report) => return Ok(Ok(FinishedJob { report, updates })),
+                        other => {
+                            return Err(ClientError::Unexpected {
+                                got: other.encode(),
+                            })
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Queries a job's lifecycle state and digest.
+    ///
+    /// # Errors
+    ///
+    /// Wire failure or an out-of-protocol frame.
+    pub fn status(&mut self, job: u64) -> Result<(String, u64), ClientError> {
+        self.send(&Request::Status { job })?;
+        match self.recv()? {
+            Response::Status { state, digest, .. } => Ok((state, digest)),
+            Response::Error { detail } => Err(ClientError::Server { detail }),
+            other => Err(ClientError::Unexpected {
+                got: other.encode(),
+            }),
+        }
+    }
+
+    /// Fetches server-wide counters and metrics.
+    ///
+    /// # Errors
+    ///
+    /// Wire failure or an out-of-protocol frame.
+    pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
+        self.send(&Request::Stats)?;
+        match self.recv()? {
+            Response::Stats(stats) => Ok(stats),
+            Response::Error { detail } => Err(ClientError::Server { detail }),
+            other => Err(ClientError::Unexpected {
+                got: other.encode(),
+            }),
+        }
+    }
+
+    /// Asks the server to drain: finish what is queued, reject new work.
+    /// Returns the number of jobs still pending.
+    ///
+    /// # Errors
+    ///
+    /// Wire failure or an out-of-protocol frame.
+    pub fn drain(&mut self) -> Result<u64, ClientError> {
+        self.send(&Request::Drain)?;
+        match self.recv()? {
+            Response::Draining { pending } => Ok(pending),
+            Response::Error { detail } => Err(ClientError::Server { detail }),
+            other => Err(ClientError::Unexpected {
+                got: other.encode(),
+            }),
+        }
+    }
+}

@@ -1,0 +1,480 @@
+//! Extraction jobs: what a tenant submits and how a worker runs it.
+//!
+//! A [`JobSpec`] names one of two workloads on the real attack stack —
+//! NV-Core overlap campaigns (many small trials) or NV-S full-trace
+//! extractions (few large trials) — plus the campaign knobs: trial
+//! count, master seed, worker threads, watchdog deadline, retry budget
+//! and an optional deterministic flake rate for exercising the healing
+//! path.
+//!
+//! [`run_job`] executes the spec through the `nightvision` campaign
+//! engine's checkpointed resume path, so every completed trial is
+//! durable the moment it finishes. Trials that fail a pass are retried
+//! with **exponential back-off**: pass *p* re-runs the stragglers under
+//! `FailurePolicy::Retry` with a budget of `2^p - 1` (capped at the
+//! spec's budget). Because attempt `k` of trial `i` draws an rng stream
+//! that depends only on `(master_seed, i, k)`, a trial always completes
+//! with the value of its *first succeeding attempt*, no matter how the
+//! passes were sliced by crashes — which is exactly what makes
+//! kill-and-restart byte-identical.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::Mutex;
+
+use nightvision::campaign::{Campaign, Trial};
+use nightvision::checkpoint::fnv1a64;
+use nightvision::{
+    AttackError, CampaignCheckpoint, CheckpointError, FailurePolicy, NvCore, NvSupervisor, PwSpec,
+    Resilience, SupervisorConfig, TrialOutcome,
+};
+use nv_isa::{Assembler, VirtAddr};
+use nv_obs::Metrics;
+use nv_os::Enclave;
+use nv_uarch::{Core, Machine, UarchConfig};
+use nv_victims::{GcdVictim, VictimConfig};
+
+use crate::proto::{JobReport, TrialUpdate};
+
+/// Base of the monitored region (the alias-friendly neighbourhood the
+/// bench suite uses).
+const MON: u64 = 0x40_0900;
+
+/// Windows in the NV-Core probed chain.
+const WINDOWS: usize = 2;
+
+/// Which attack workload a job runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum JobKind {
+    /// Many small NV-Core overlap measurements (§4.1 primitive).
+    NvCore,
+    /// Few large NV-S full PC-trace extractions (§6.3) of a GCD enclave.
+    NvS,
+}
+
+impl JobKind {
+    /// The wire tag.
+    pub fn tag(self) -> &'static str {
+        match self {
+            JobKind::NvCore => "nv_core",
+            JobKind::NvS => "nv_s",
+        }
+    }
+}
+
+/// Everything the server needs to run a job deterministically.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct JobSpec {
+    /// The workload.
+    pub kind: JobKind,
+    /// Trials in the campaign.
+    pub trials: usize,
+    /// Master seed; every trial stream derives from it.
+    pub master_seed: u64,
+    /// Campaign worker threads (0 = size for the host).
+    pub threads: usize,
+    /// Per-trial watchdog budget in retirement steps (0 = none).
+    pub deadline_steps: u64,
+    /// Total extra attempts a trial may take across all back-off passes.
+    pub retry_budget: usize,
+    /// Injected per-attempt flake rate, in failures per million, drawn
+    /// from the attempt's own rng stream — deterministic in
+    /// `(master_seed, trial, attempt)`, so healing is reproducible.
+    pub flake_ppm: u32,
+}
+
+impl JobSpec {
+    /// A small clean NV-Core job (the load-test workhorse).
+    pub fn nv_core(trials: usize, master_seed: u64) -> JobSpec {
+        JobSpec {
+            kind: JobKind::NvCore,
+            trials,
+            master_seed,
+            threads: 1,
+            deadline_steps: 20_000,
+            retry_budget: 0,
+            flake_ppm: 0,
+        }
+    }
+
+    /// A single-trial NV-S extraction job.
+    pub fn nv_s(master_seed: u64) -> JobSpec {
+        JobSpec {
+            kind: JobKind::NvS,
+            trials: 1,
+            master_seed,
+            threads: 1,
+            deadline_steps: 0,
+            retry_budget: 0,
+            flake_ppm: 0,
+        }
+    }
+
+    /// The spec's config fingerprint, mixed into the checkpoint key so a
+    /// resumed job refuses a checkpoint written under different knobs.
+    pub fn fingerprint(&self) -> u64 {
+        fnv1a64(format!("nv-serve job v1 {}", self.encode_fields()).as_bytes())
+    }
+}
+
+/// Why a job could not run to a report.
+#[derive(Debug)]
+pub enum JobError {
+    /// The job's checkpoint could not be opened.
+    Checkpoint(CheckpointError),
+    /// The campaign engine aborted (e.g. checkpoint appends started
+    /// failing mid-run — persistence loss is job-fatal).
+    Aborted {
+        /// The abort message.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Checkpoint(err) => write!(f, "checkpoint: {err}"),
+            JobError::Aborted { detail } => write!(f, "campaign aborted: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+impl From<CheckpointError> for JobError {
+    fn from(err: CheckpointError) -> Self {
+        JobError::Checkpoint(err)
+    }
+}
+
+fn chain() -> Vec<PwSpec> {
+    (0..WINDOWS as u64)
+        .map(|i| PwSpec::new(VirtAddr::new(MON + 0x40 * i), 16).expect("window"))
+        .collect()
+}
+
+/// One clean NV-Core overlap measurement driven by the trial's stream;
+/// returns a compact signature of the verdicts plus the geometry that
+/// produced them, so resume identity is checkable bit-for-bit.
+fn nv_core_trial(trial: &mut Trial) -> Result<u64, AttackError> {
+    let mut core = Core::new(UarchConfig::default());
+    trial.arm(&mut core);
+    let below = trial.rng.gen_range(0..4u64) * 0x40;
+    let nops = 8 + trial.rng.gen_range(0..96u64) as usize;
+    let entry = MON - below;
+    let mut nv = NvCore::with_resilience(chain(), Resilience::none())?;
+    nv.begin(&mut core)?;
+    let matched = nv.measure(&mut core, |core| {
+        core.reset_frontend();
+        let mut asm = Assembler::new(VirtAddr::new(entry));
+        for _ in 0..nops {
+            asm.nop();
+        }
+        asm.halt();
+        let mut victim = Machine::new(asm.finish().expect("victim fragment assembles"));
+        core.run(&mut victim, 4_000);
+    })?;
+    let mut signature = 0u64;
+    for (i, hit) in matched.iter().enumerate() {
+        signature |= (*hit as u64) << i;
+    }
+    Ok(signature << 32 | (below / 0x40) << 16 | nops as u64)
+}
+
+/// One NV-S full-trace extraction of a GCD enclave with operands drawn
+/// from the trial stream; returns the FNV digest of the extracted PCs.
+fn nv_s_trial(trial: &mut Trial) -> Result<u64, AttackError> {
+    let a = trial.rng.gen_range(1..=60u64);
+    let b = trial.rng.gen_range(1..=60u64);
+    let victim = GcdVictim::build(a, b, &VictimConfig::default()).expect("gcd victim assembles");
+    let mut enclave = Enclave::new(victim.program().clone());
+    let mut core = Core::new(UarchConfig::default());
+    trial.arm(&mut core);
+    let extracted =
+        NvSupervisor::new(SupervisorConfig::default()).extract_trace(&mut enclave, &mut core)?;
+    let mut bytes = Vec::new();
+    for pc in extracted.pcs() {
+        bytes.extend_from_slice(&pc.value().to_le_bytes());
+    }
+    Ok(fnv1a64(&bytes))
+}
+
+/// One attempt of one trial per the spec: an injected flake first (drawn
+/// from the attempt's own stream), then the real workload.
+fn run_attempt(spec: &JobSpec, trial: &mut Trial) -> Result<u64, AttackError> {
+    if spec.flake_ppm > 0 && trial.rng.gen_range(0..1_000_000u64) < u64::from(spec.flake_ppm) {
+        return Err(AttackError::NotCalibrated);
+    }
+    match spec.kind {
+        JobKind::NvCore => nv_core_trial(trial),
+        JobKind::NvS => nv_s_trial(trial),
+    }
+}
+
+fn outcome_tag<T>(outcome: &TrialOutcome<T>) -> &'static str {
+    match outcome {
+        TrialOutcome::Completed(_) => "completed",
+        TrialOutcome::Failed(_) => "failed",
+        TrialOutcome::Panicked { .. } => "panicked",
+        TrialOutcome::DeadlineExceeded { .. } => "deadline",
+    }
+}
+
+fn encode(v: &u64) -> String {
+    v.to_string()
+}
+
+fn decode(s: &str) -> Option<u64> {
+    s.parse().ok()
+}
+
+/// The job-identity digest: FNV-1a-64 over the index-ordered outcome
+/// vector (kind tag plus value). Byte-identical digests mean
+/// byte-identical campaigns — the witness the kill/resume benches check.
+fn outcome_digest(outcomes: &[TrialOutcome<u64>]) -> u64 {
+    let mut bytes = Vec::with_capacity(outcomes.len() * 16);
+    for (index, outcome) in outcomes.iter().enumerate() {
+        bytes.extend_from_slice(&(index as u64).to_le_bytes());
+        bytes.extend_from_slice(outcome_tag(outcome).as_bytes());
+        bytes.extend_from_slice(&outcome.completed().copied().unwrap_or(0).to_le_bytes());
+    }
+    fnv1a64(&bytes)
+}
+
+/// Runs `spec` to a [`JobReport`], streaming [`TrialUpdate`]s through
+/// `on_update` as trials finish: live completions as they happen,
+/// checkpoint-resumed completions after the first pass, terminal
+/// failures after the last.
+///
+/// The checkpoint at `checkpoint_path` makes the job resumable: calling
+/// `run_job` again after a kill (same spec, same path) skips completed
+/// trials and converges to the identical report.
+///
+/// # Errors
+///
+/// [`JobError::Checkpoint`] if the checkpoint cannot be opened (or was
+/// written by a different spec), [`JobError::Aborted`] if the campaign
+/// engine aborted.
+pub fn run_job(
+    job: u64,
+    spec: &JobSpec,
+    checkpoint_path: &Path,
+    on_update: impl Fn(TrialUpdate) + Sync,
+) -> Result<JobReport, JobError> {
+    let mut base = Campaign::new(spec.trials)
+        .master_seed(spec.master_seed)
+        .threads(spec.threads.max(1));
+    if spec.deadline_steps > 0 {
+        base = base.deadline_steps(spec.deadline_steps);
+    }
+    let key = base.checkpoint_key(spec.fingerprint());
+
+    // Indices already streamed to the client, so pass boundaries and
+    // checkpoint-resumed trials never duplicate an update.
+    let streamed = Mutex::new(vec![false; spec.trials]);
+    let mut metrics = Metrics::default();
+    let mut budget = 0usize;
+    let mut passes = 0u64;
+    let mut resumed_trials = 0u64;
+
+    let outcomes = loop {
+        passes += 1;
+        let checkpoint = CampaignCheckpoint::open(checkpoint_path, key)?;
+        if passes == 1 {
+            resumed_trials = checkpoint.completed_trials() as u64;
+        }
+        let campaign = base.failure_policy(FailurePolicy::Retry { budget });
+        let pass = catch_unwind(AssertUnwindSafe(|| {
+            campaign.resume_observed(64, &checkpoint, encode, decode, |mut trial, _rec| {
+                let index = trial.index;
+                let value = run_attempt(spec, &mut trial)?;
+                streamed.lock().expect("streamed flags poisoned")[index] = true;
+                on_update(TrialUpdate {
+                    job,
+                    index: index as u64,
+                    outcome: "completed".to_string(),
+                    value,
+                    resumed: false,
+                });
+                Ok(value)
+            })
+        }));
+        let (outcomes, pass_metrics) = match pass {
+            Ok(result) => result,
+            Err(payload) => {
+                let detail = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                return Err(JobError::Aborted { detail });
+            }
+        };
+        metrics.merge(&pass_metrics);
+
+        // Stream checkpoint-resumed completions (first pass) — their
+        // trial closures never ran, so they were not streamed live.
+        {
+            let mut flags = streamed.lock().expect("streamed flags poisoned");
+            for (index, outcome) in outcomes.iter().enumerate() {
+                if let TrialOutcome::Completed(value) = outcome {
+                    if !flags[index] {
+                        flags[index] = true;
+                        on_update(TrialUpdate {
+                            job,
+                            index: index as u64,
+                            outcome: "completed".to_string(),
+                            value: *value,
+                            resumed: true,
+                        });
+                    }
+                }
+            }
+        }
+
+        let incomplete = outcomes.iter().filter(|o| !o.is_completed()).count();
+        if incomplete == 0 || budget >= spec.retry_budget {
+            break outcomes;
+        }
+        // Exponential back-off: 0, 1, 3, 7, ... extra attempts per pass.
+        budget = budget
+            .saturating_mul(2)
+            .saturating_add(1)
+            .min(spec.retry_budget);
+    };
+
+    // Terminal failures, streamed once the back-off passes are spent.
+    for (index, outcome) in outcomes.iter().enumerate() {
+        if !outcome.is_completed() {
+            on_update(TrialUpdate {
+                job,
+                index: index as u64,
+                outcome: outcome_tag(outcome).to_string(),
+                value: 0,
+                resumed: false,
+            });
+        }
+    }
+
+    let completed = outcomes.iter().filter(|o| o.is_completed()).count() as u64;
+    Ok(JobReport {
+        job,
+        trials: spec.trials as u64,
+        completed,
+        quarantined: spec.trials as u64 - completed,
+        resumed_trials,
+        passes,
+        digest: outcome_digest(&outcomes),
+        metrics_json: metrics.to_json(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let mut path = std::env::temp_dir();
+        path.push(format!("nv_serve_job_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    #[test]
+    fn nv_core_job_completes_and_digest_is_thread_invariant() {
+        let mut digests = Vec::new();
+        for threads in [1, 2] {
+            let mut spec = JobSpec::nv_core(6, 0x5eed);
+            spec.threads = threads;
+            let path = scratch(&format!("core_t{threads}"));
+            let report = run_job(1, &spec, &path, |_| {}).unwrap();
+            assert_eq!(report.completed, 6);
+            assert_eq!(report.quarantined, 0);
+            assert_eq!(report.passes, 1);
+            digests.push(report.digest);
+            let _ = std::fs::remove_file(&path);
+        }
+        assert_eq!(digests[0], digests[1], "digest must not depend on threads");
+    }
+
+    #[test]
+    fn flaky_job_heals_across_backoff_passes() {
+        // A heavy deterministic flake rate: most first attempts fail, the
+        // widening retry budget heals them across passes.
+        let mut spec = JobSpec::nv_core(8, 0xf1a6);
+        spec.flake_ppm = 600_000;
+        spec.retry_budget = 15;
+        let path = scratch("flaky");
+        let report = run_job(2, &spec, &path, |_| {}).unwrap();
+        assert_eq!(
+            report.completed, 8,
+            "600k ppm flakes must heal within a budget of 15"
+        );
+        assert!(report.passes > 1, "healing must have taken extra passes");
+        let _ = std::fs::remove_file(&path);
+
+        // The healed digest equals a generous-single-pass digest: a trial
+        // always keeps its first succeeding attempt's value.
+        let path2 = scratch("flaky_onepass");
+        let baseline = run_job(3, &spec, &path2, |_| {}).unwrap();
+        assert_eq!(report.digest, baseline.digest);
+        let _ = std::fs::remove_file(&path2);
+    }
+
+    #[test]
+    fn killed_job_resumes_byte_identical() {
+        let spec = JobSpec::nv_core(6, 0xdead);
+        let clean_path = scratch("resume_clean");
+        let baseline = run_job(4, &spec, &clean_path, |_| {}).unwrap();
+        let _ = std::fs::remove_file(&clean_path);
+
+        // Simulated kill: run half the trials directly into the job's
+        // checkpoint, then hand the file to run_job as a restarted server
+        // would.
+        let path = scratch("resume_killed");
+        {
+            let base = Campaign::new(spec.trials)
+                .master_seed(spec.master_seed)
+                .deadline_steps(spec.deadline_steps);
+            let key = base.checkpoint_key(spec.fingerprint());
+            let ckpt = CampaignCheckpoint::open(&path, key).unwrap();
+            for index in 0..3 {
+                let mut trial = Trial {
+                    index,
+                    rng: nv_rand::Rng::stream(spec.master_seed, index as u64),
+                    deadline: Some(spec.deadline_steps),
+                };
+                let value = nv_core_trial(&mut trial).unwrap();
+                ckpt.append(index, &encode(&value)).unwrap();
+            }
+        }
+        let mut resumed_updates = 0u64;
+        let updates = Mutex::new(Vec::new());
+        let report = run_job(4, &spec, &path, |u| {
+            updates.lock().unwrap().push(u);
+        })
+        .unwrap();
+        for update in updates.lock().unwrap().iter() {
+            if update.resumed {
+                resumed_updates += 1;
+            }
+        }
+        assert_eq!(report.digest, baseline.digest, "resume must be identical");
+        assert_eq!(report.resumed_trials, 3);
+        assert_eq!(resumed_updates, 3, "resumed trials must still stream");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn nv_s_job_digest_is_stable() {
+        let spec = JobSpec::nv_s(0x6cd);
+        let path_a = scratch("nvs_a");
+        let path_b = scratch("nvs_b");
+        let a = run_job(5, &spec, &path_a, |_| {}).unwrap();
+        let b = run_job(5, &spec, &path_b, |_| {}).unwrap();
+        assert_eq!(a.completed, 1);
+        assert_eq!(a.digest, b.digest);
+        let _ = std::fs::remove_file(&path_a);
+        let _ = std::fs::remove_file(&path_b);
+    }
+}

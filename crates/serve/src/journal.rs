@@ -1,0 +1,267 @@
+//! The server's crash journal: every admitted job is durable before the
+//! client hears "accepted".
+//!
+//! An append-only log of framed records (the same length- and
+//! FNV-checksummed line format as [`nightvision::checkpoint`]):
+//!
+//! * `accept` — job id, tenant, full [`JobSpec`], written at admission
+//!   *before* the `Accepted` response leaves the server;
+//! * `done` — job id and outcome digest, written when the job's report
+//!   is final.
+//!
+//! A restarted server replays the journal: `accept` without `done` is an
+//! in-flight job to re-queue (its per-job checkpoint carries whatever
+//! trials already completed); `done` records serve status queries for
+//! jobs that finished in a previous life. A torn tail — the crash
+//! landed mid-append — is dropped, counted, and physically truncated,
+//! exactly like a torn campaign checkpoint.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use nightvision::checkpoint::{escape, frame, parse_frame};
+
+use crate::job::JobSpec;
+use crate::proto::{field_str, field_u64};
+
+/// One in-flight job recovered from the journal.
+#[derive(Clone, PartialEq, Debug)]
+pub struct PendingJob {
+    /// The job id assigned at admission.
+    pub job: u64,
+    /// The submitting tenant.
+    pub tenant: String,
+    /// The job spec.
+    pub spec: JobSpec,
+}
+
+/// What replaying the journal recovered.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct JournalState {
+    /// Jobs accepted but not finished, in admission order.
+    pub pending: Vec<PendingJob>,
+    /// Digests of jobs that finished in previous lives, by job id.
+    pub done: BTreeMap<u64, u64>,
+    /// The next job id a fresh admission should use.
+    pub next_job: u64,
+    /// Torn/corrupt trailing records dropped (and truncated) at replay.
+    pub dropped_records: usize,
+    /// Bytes those records occupied.
+    pub dropped_bytes: u64,
+}
+
+/// The append half of the journal.
+#[derive(Debug)]
+pub struct JobJournal {
+    path: PathBuf,
+    writer: Mutex<File>,
+}
+
+impl JobJournal {
+    /// Opens (creating if absent) the journal at `path`, replaying what
+    /// is already there.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure opening or reading the file. Malformed *content* is
+    /// never an error: replay stops at the first bad line, reports it in
+    /// [`JournalState`], and truncates it away.
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<(JobJournal, JournalState)> {
+        let path = path.as_ref().to_path_buf();
+        let mut existing = String::new();
+        match File::open(&path) {
+            Ok(mut file) => {
+                file.read_to_string(&mut existing)?;
+            }
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => {}
+            Err(err) => return Err(err),
+        }
+
+        let mut state = JournalState {
+            next_job: 1,
+            ..JournalState::default()
+        };
+        let mut accepted: BTreeMap<u64, PendingJob> = BTreeMap::new();
+        let mut retained_bytes = 0usize;
+        let total_lines = existing.split_terminator('\n').count();
+        let mut good = 0usize;
+        for line in existing.split_terminator('\n') {
+            let Some(entry) = parse_frame(line).and_then(parse_record) else {
+                break;
+            };
+            match entry {
+                Record::Accept(pending) => {
+                    state.next_job = state.next_job.max(pending.job + 1);
+                    accepted.insert(pending.job, pending);
+                }
+                Record::Done { job, digest } => {
+                    state.next_job = state.next_job.max(job + 1);
+                    accepted.remove(&job);
+                    state.done.insert(job, digest);
+                }
+            }
+            retained_bytes += line.len() + 1;
+            good += 1;
+        }
+        state.dropped_records = total_lines - good;
+        state.dropped_bytes = (existing.len().saturating_sub(retained_bytes)) as u64;
+        if state.dropped_bytes > 0 {
+            // Same repair as the campaign checkpoint: truncate what we
+            // refused to trust so the next append lands on an intact log.
+            let repair = OpenOptions::new().write(true).open(&path)?;
+            repair.set_len(retained_bytes as u64)?;
+        }
+        state.pending = accepted.into_values().collect();
+
+        let writer = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok((
+            JobJournal {
+                path,
+                writer: Mutex::new(writer),
+            },
+            state,
+        ))
+    }
+
+    /// The journal's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Records an admission. Flushed before returning, so a job the
+    /// client saw accepted is a job a restart will resume.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure; the caller must fail the admission, not ignore it.
+    pub fn record_accept(&self, job: u64, tenant: &str, spec: &JobSpec) -> std::io::Result<()> {
+        let body = format!(
+            "{{\"rec\": \"accept\", \"job\": {job}, \"tenant\": \"{}\", {}}}",
+            escape(tenant),
+            spec.encode_fields()
+        );
+        self.append(&body)
+    }
+
+    /// Records a completion with its identity digest.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure.
+    pub fn record_done(&self, job: u64, digest: u64) -> std::io::Result<()> {
+        self.append(&format!(
+            "{{\"rec\": \"done\", \"job\": {job}, \"digest\": {digest}}}"
+        ))
+    }
+
+    fn append(&self, body: &str) -> std::io::Result<()> {
+        let mut writer = self.writer.lock().expect("journal writer poisoned");
+        writer.write_all(frame(body).as_bytes())?;
+        writer.flush()
+    }
+}
+
+enum Record {
+    Accept(PendingJob),
+    Done { job: u64, digest: u64 },
+}
+
+fn parse_record(body: &str) -> Option<Record> {
+    match field_str(body, "rec")?.as_str() {
+        "accept" => Some(Record::Accept(PendingJob {
+            job: field_u64(body, "job")?,
+            tenant: field_str(body, "tenant")?,
+            spec: JobSpec::decode_fields(body).ok()?,
+        })),
+        "done" => Some(Record::Done {
+            job: field_u64(body, "job")?,
+            digest: field_u64(body, "digest")?,
+        }),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobKind;
+
+    fn scratch(name: &str) -> PathBuf {
+        let mut path = std::env::temp_dir();
+        path.push(format!("nv_serve_journal_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    fn spec(seed: u64) -> JobSpec {
+        JobSpec {
+            kind: JobKind::NvCore,
+            trials: 3,
+            master_seed: seed,
+            threads: 1,
+            deadline_steps: 0,
+            retry_budget: 1,
+            flake_ppm: 0,
+        }
+    }
+
+    #[test]
+    fn replay_recovers_pending_jobs_and_next_id() {
+        let path = scratch("replay");
+        {
+            let (journal, state) = JobJournal::open(&path).unwrap();
+            assert_eq!(
+                state,
+                JournalState {
+                    next_job: 1,
+                    ..JournalState::default()
+                }
+            );
+            journal.record_accept(1, "acme", &spec(1)).unwrap();
+            journal.record_accept(2, "acme", &spec(2)).unwrap();
+            journal.record_accept(3, "globex", &spec(3)).unwrap();
+            journal.record_done(2, 0xd16e57).unwrap();
+        }
+        let (_journal, state) = JobJournal::open(&path).unwrap();
+        assert_eq!(state.next_job, 4);
+        assert_eq!(state.done.get(&2), Some(&0xd16e57));
+        let pending: Vec<u64> = state.pending.iter().map(|p| p.job).collect();
+        assert_eq!(pending, vec![1, 3], "done jobs must not be re-queued");
+        assert_eq!(state.pending[0].tenant, "acme");
+        assert_eq!(state.pending[1].spec, spec(3));
+        assert_eq!(state.dropped_records, 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_counted_and_truncated() {
+        let path = scratch("torn");
+        {
+            let (journal, _) = JobJournal::open(&path).unwrap();
+            journal.record_accept(1, "acme", &spec(1)).unwrap();
+        }
+        let intact_len = std::fs::metadata(&path).unwrap().len();
+        {
+            use std::io::Write;
+            let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+            file.write_all(b"{\"len\": 40, \"crc\": 1, \"body\"")
+                .unwrap();
+        }
+        let (journal, state) = JobJournal::open(&path).unwrap();
+        assert_eq!(state.pending.len(), 1);
+        assert_eq!(state.dropped_records, 1);
+        assert!(state.dropped_bytes > 0);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), intact_len);
+        // Post-repair appends survive the next replay.
+        journal.record_done(1, 9).unwrap();
+        drop(journal);
+        let (_journal, state) = JobJournal::open(&path).unwrap();
+        assert!(state.pending.is_empty());
+        assert_eq!(state.done.get(&1), Some(&9));
+        assert_eq!(state.dropped_records, 0);
+        let _ = std::fs::remove_file(&path);
+    }
+}

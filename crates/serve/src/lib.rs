@@ -1,0 +1,44 @@
+//! nv-serve — extraction-as-a-service for NightVision campaigns.
+//!
+//! A hardened, resumable, multi-tenant campaign server built only on
+//! `std` (`TcpListener` + a worker pool). Tenants submit extraction
+//! jobs — a victim recipe, trial count, seed and resilience knobs — over
+//! a length- and FNV-checksummed framed wire protocol; the server shards
+//! trials through the existing supervised campaign engine and streams
+//! per-trial outcomes plus nv-obs metric snapshots back incrementally.
+//!
+//! Robustness properties, each pinned by tests:
+//!
+//! * **admission control** — a bounded queue and per-tenant quotas turn
+//!   overload into typed [`proto::RejectReason`]s, never into unbounded
+//!   memory;
+//! * **durability** — every accepted job is journaled before the client
+//!   hears `accepted`; `kill -9` mid-load plus a restart resumes every
+//!   in-flight job and reproduces byte-identical results at any worker
+//!   count;
+//! * **healing** — quarantined trials are retried across passes with an
+//!   exponentially growing budget, deterministically (a trial's value is
+//!   its first-succeeding attempt's, however the passes slice the work);
+//! * **hostility** — every malformed frame maps to a typed
+//!   [`wire::WireError`]; the decoders never panic on wire input.
+//!
+//! Layering: [`wire`] (framing) → [`proto`] (messages) → [`job`] (one
+//! job through the campaign engine) → [`journal`] (crash journal) →
+//! [`server`] / [`client`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod job;
+pub mod journal;
+pub mod proto;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, ClientError, FinishedJob, Submission};
+pub use job::{JobError, JobKind, JobSpec};
+pub use journal::{JobJournal, JournalState, PendingJob};
+pub use proto::{JobReport, RejectReason, Request, Response, ServerStats, TrialUpdate};
+pub use server::{Server, ServerConfig};
+pub use wire::{WireError, MAX_PAYLOAD};

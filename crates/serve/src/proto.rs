@@ -1,0 +1,615 @@
+//! The campaign-server message vocabulary, on top of [`crate::wire`]
+//! frames.
+//!
+//! Payloads are flat, hand-rolled JSON objects (the workspace owns all
+//! of its dependencies, so there is no serde): every field is either an
+//! unsigned number or a string escaped with the same rules as the
+//! checkpoint journal ([`nightvision::checkpoint::escape`]). Because
+//! `"` is always escaped inside string values, searching for the literal
+//! `"key": ` pattern cannot be spoofed by field *content* — a hostile
+//! tenant name cannot inject fields.
+//!
+//! Decoders are total: any missing or ill-typed field becomes
+//! [`WireError::BadMessage`], never a panic.
+
+use nightvision::checkpoint::{escape, unescape};
+
+use crate::job::{JobKind, JobSpec};
+use crate::wire::WireError;
+
+/// Extracts the raw text after `"key": ` in a flat object body, up to
+/// (not including) the value's end. Number values only.
+pub(crate) fn field_u64(body: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\": ");
+    let start = body.find(&needle)? + needle.len();
+    let rest = &body[start..];
+    let digits = rest.len() - rest.trim_start_matches(|c: char| c.is_ascii_digit()).len();
+    if digits == 0 {
+        return None;
+    }
+    rest[..digits].parse().ok()
+}
+
+/// Extracts and unescapes a string field.
+pub(crate) fn field_str(body: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\": \"");
+    let start = body.find(&needle)? + needle.len();
+    let rest = &body[start..];
+    // Scan for the closing quote, honouring escapes.
+    let mut end = None;
+    let mut escaped = false;
+    for (i, ch) in rest.char_indices() {
+        if escaped {
+            escaped = false;
+        } else if ch == '\\' {
+            escaped = true;
+        } else if ch == '"' {
+            end = Some(i);
+            break;
+        }
+    }
+    unescape(&rest[..end?])
+}
+
+pub(crate) fn field_bool(body: &str, key: &str) -> Option<bool> {
+    let needle = format!("\"{key}\": ");
+    let start = body.find(&needle)? + needle.len();
+    let rest = &body[start..];
+    if rest.starts_with("true") {
+        Some(true)
+    } else if rest.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+pub(crate) fn missing(key: &str) -> WireError {
+    WireError::BadMessage {
+        detail: format!("missing or ill-typed field \"{key}\""),
+    }
+}
+
+/// Why the server refused a job at admission. Typed — a client can
+/// distinguish back-pressure from quota policy from shutdown and react
+/// accordingly (back off, shed load, fail over).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RejectReason {
+    /// The bounded job queue is full; retry with back-off.
+    QueueFull {
+        /// Queue depth at rejection time.
+        depth: u64,
+        /// The configured cap the depth had reached.
+        cap: u64,
+    },
+    /// The tenant has too many jobs queued or running.
+    TenantQuota {
+        /// The tenant's active jobs at rejection time.
+        active: u64,
+        /// The configured per-tenant quota.
+        quota: u64,
+    },
+    /// The server is draining and accepts no new work.
+    Draining,
+}
+
+impl RejectReason {
+    fn tag(&self) -> &'static str {
+        match self {
+            RejectReason::QueueFull { .. } => "queue_full",
+            RejectReason::TenantQuota { .. } => "tenant_quota",
+            RejectReason::Draining => "draining",
+        }
+    }
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::QueueFull { depth, cap } => {
+                write!(f, "queue full ({depth} of {cap})")
+            }
+            RejectReason::TenantQuota { active, quota } => {
+                write!(f, "tenant quota exhausted ({active} of {quota})")
+            }
+            RejectReason::Draining => write!(f, "server draining"),
+        }
+    }
+}
+
+/// A client request.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Request {
+    /// Submit a job; the server streams updates back on this connection.
+    Submit {
+        /// The submitting tenant (quota accounting key).
+        tenant: String,
+        /// What to run.
+        spec: JobSpec,
+    },
+    /// Query one job's state (e.g. a job resumed after a crash, whose
+    /// submitting connection is long gone).
+    Status {
+        /// The job id.
+        job: u64,
+    },
+    /// Query server-wide counters and metrics.
+    Stats,
+    /// Stop admitting work; finish what is queued.
+    Drain,
+}
+
+impl Request {
+    /// Renders the request as a frame payload.
+    pub fn encode(&self) -> String {
+        match self {
+            Request::Submit { tenant, spec } => format!(
+                "{{\"op\": \"submit\", \"tenant\": \"{}\", {}}}",
+                escape(tenant),
+                spec.encode_fields()
+            ),
+            Request::Status { job } => {
+                format!("{{\"op\": \"status\", \"job\": {job}}}")
+            }
+            Request::Stats => "{\"op\": \"stats\"}".to_string(),
+            Request::Drain => "{\"op\": \"drain\"}".to_string(),
+        }
+    }
+
+    /// Parses a frame payload.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::BadMessage`] on anything that is not a well-formed
+    /// request.
+    pub fn decode(payload: &str) -> Result<Request, WireError> {
+        let op = field_str(payload, "op").ok_or_else(|| missing("op"))?;
+        match op.as_str() {
+            "submit" => Ok(Request::Submit {
+                tenant: field_str(payload, "tenant").ok_or_else(|| missing("tenant"))?,
+                spec: JobSpec::decode_fields(payload)?,
+            }),
+            "status" => Ok(Request::Status {
+                job: field_u64(payload, "job").ok_or_else(|| missing("job"))?,
+            }),
+            "stats" => Ok(Request::Stats),
+            "drain" => Ok(Request::Drain),
+            other => Err(WireError::BadMessage {
+                detail: format!("unknown op \"{other}\""),
+            }),
+        }
+    }
+}
+
+/// One streamed per-trial outcome.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TrialUpdate {
+    /// The job the trial belongs to.
+    pub job: u64,
+    /// The trial index within the job.
+    pub index: u64,
+    /// Outcome kind: `completed`, `failed`, `panicked`, `deadline`.
+    pub outcome: String,
+    /// The trial's value (0 for non-completions).
+    pub value: u64,
+    /// Whether the trial was resumed from a checkpoint rather than run
+    /// by this server process.
+    pub resumed: bool,
+}
+
+/// The final account of one finished job.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct JobReport {
+    /// The job id.
+    pub job: u64,
+    /// Trials in the job.
+    pub trials: u64,
+    /// Trials that completed.
+    pub completed: u64,
+    /// Trials written off after exhausting every retry pass.
+    pub quarantined: u64,
+    /// Trials this process skipped because a checkpoint already had them.
+    pub resumed_trials: u64,
+    /// Exponential-backoff passes the job took to converge.
+    pub passes: u64,
+    /// FNV-1a-64 digest over the index-ordered outcome vector — the
+    /// byte-identity witness for resume checks.
+    pub digest: u64,
+    /// The job's merged nv-obs metrics, rendered to JSON.
+    pub metrics_json: String,
+}
+
+/// Server-wide counters, snapshotted by [`Request::Stats`].
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ServerStats {
+    /// Jobs admitted (including journal-resumed ones).
+    pub submitted: u64,
+    /// Jobs finished.
+    pub completed: u64,
+    /// Jobs refused at admission, any reason.
+    pub rejected: u64,
+    /// Jobs re-queued from the journal at startup.
+    pub resumed: u64,
+    /// Current queue depth.
+    pub queue_depth: u64,
+    /// Highest queue depth ever observed.
+    pub peak_queue_depth: u64,
+    /// The configured queue cap.
+    pub queue_cap: u64,
+    /// Whether the server is draining.
+    pub draining: bool,
+    /// Server lifecycle metrics, rendered to JSON.
+    pub metrics_json: String,
+}
+
+/// A server response.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Response {
+    /// The job was admitted; updates will stream on this connection.
+    Accepted {
+        /// The assigned job id.
+        job: u64,
+    },
+    /// The job was refused, with a typed reason.
+    Rejected {
+        /// Why.
+        reason: RejectReason,
+    },
+    /// One per-trial outcome.
+    Trial(TrialUpdate),
+    /// The job finished; last message of a submit stream.
+    Done(JobReport),
+    /// Answer to [`Request::Status`].
+    Status {
+        /// The job id queried.
+        job: u64,
+        /// `queued`, `running`, `done` or `unknown`.
+        state: String,
+        /// The job digest (0 unless `done`).
+        digest: u64,
+    },
+    /// Answer to [`Request::Stats`].
+    Stats(ServerStats),
+    /// Answer to [`Request::Drain`].
+    Draining {
+        /// Jobs still queued or running.
+        pending: u64,
+    },
+    /// The server rejected the *message* (protocol violation).
+    Error {
+        /// What went wrong.
+        detail: String,
+    },
+}
+
+impl Response {
+    /// Renders the response as a frame payload.
+    pub fn encode(&self) -> String {
+        match self {
+            Response::Accepted { job } => {
+                format!("{{\"re\": \"accepted\", \"job\": {job}}}")
+            }
+            Response::Rejected { reason } => {
+                let (a, b) = match reason {
+                    RejectReason::QueueFull { depth, cap } => (*depth, *cap),
+                    RejectReason::TenantQuota { active, quota } => (*active, *quota),
+                    RejectReason::Draining => (0, 0),
+                };
+                format!(
+                    "{{\"re\": \"rejected\", \"reason\": \"{}\", \"observed\": {a}, \
+                     \"limit\": {b}}}",
+                    reason.tag()
+                )
+            }
+            Response::Trial(u) => format!(
+                "{{\"re\": \"trial\", \"job\": {}, \"index\": {}, \"outcome\": \"{}\", \
+                 \"value\": {}, \"resumed\": {}}}",
+                u.job,
+                u.index,
+                escape(&u.outcome),
+                u.value,
+                u.resumed
+            ),
+            Response::Done(r) => format!(
+                "{{\"re\": \"done\", \"job\": {}, \"trials\": {}, \"completed\": {}, \
+                 \"quarantined\": {}, \"resumed_trials\": {}, \"passes\": {}, \
+                 \"digest\": {}, \"metrics\": \"{}\"}}",
+                r.job,
+                r.trials,
+                r.completed,
+                r.quarantined,
+                r.resumed_trials,
+                r.passes,
+                r.digest,
+                escape(&r.metrics_json)
+            ),
+            Response::Status { job, state, digest } => format!(
+                "{{\"re\": \"status\", \"job\": {job}, \"state\": \"{}\", \"digest\": {digest}}}",
+                escape(state)
+            ),
+            Response::Stats(s) => format!(
+                "{{\"re\": \"stats\", \"submitted\": {}, \"completed\": {}, \"rejected\": {}, \
+                 \"resumed\": {}, \"queue_depth\": {}, \"peak_queue_depth\": {}, \
+                 \"queue_cap\": {}, \"draining\": {}, \"metrics\": \"{}\"}}",
+                s.submitted,
+                s.completed,
+                s.rejected,
+                s.resumed,
+                s.queue_depth,
+                s.peak_queue_depth,
+                s.queue_cap,
+                s.draining,
+                escape(&s.metrics_json)
+            ),
+            Response::Draining { pending } => {
+                format!("{{\"re\": \"draining\", \"pending\": {pending}}}")
+            }
+            Response::Error { detail } => {
+                format!("{{\"re\": \"error\", \"detail\": \"{}\"}}", escape(detail))
+            }
+        }
+    }
+
+    /// Parses a frame payload.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::BadMessage`] on anything that is not a well-formed
+    /// response.
+    pub fn decode(payload: &str) -> Result<Response, WireError> {
+        let re = field_str(payload, "re").ok_or_else(|| missing("re"))?;
+        let job = || field_u64(payload, "job").ok_or_else(|| missing("job"));
+        match re.as_str() {
+            "accepted" => Ok(Response::Accepted { job: job()? }),
+            "rejected" => {
+                let tag = field_str(payload, "reason").ok_or_else(|| missing("reason"))?;
+                let a = field_u64(payload, "observed").ok_or_else(|| missing("observed"))?;
+                let b = field_u64(payload, "limit").ok_or_else(|| missing("limit"))?;
+                let reason = match tag.as_str() {
+                    "queue_full" => RejectReason::QueueFull { depth: a, cap: b },
+                    "tenant_quota" => RejectReason::TenantQuota {
+                        active: a,
+                        quota: b,
+                    },
+                    "draining" => RejectReason::Draining,
+                    other => {
+                        return Err(WireError::BadMessage {
+                            detail: format!("unknown reject reason \"{other}\""),
+                        })
+                    }
+                };
+                Ok(Response::Rejected { reason })
+            }
+            "trial" => Ok(Response::Trial(TrialUpdate {
+                job: job()?,
+                index: field_u64(payload, "index").ok_or_else(|| missing("index"))?,
+                outcome: field_str(payload, "outcome").ok_or_else(|| missing("outcome"))?,
+                value: field_u64(payload, "value").ok_or_else(|| missing("value"))?,
+                resumed: field_bool(payload, "resumed").ok_or_else(|| missing("resumed"))?,
+            })),
+            "done" => Ok(Response::Done(JobReport {
+                job: job()?,
+                trials: field_u64(payload, "trials").ok_or_else(|| missing("trials"))?,
+                completed: field_u64(payload, "completed").ok_or_else(|| missing("completed"))?,
+                quarantined: field_u64(payload, "quarantined")
+                    .ok_or_else(|| missing("quarantined"))?,
+                resumed_trials: field_u64(payload, "resumed_trials")
+                    .ok_or_else(|| missing("resumed_trials"))?,
+                passes: field_u64(payload, "passes").ok_or_else(|| missing("passes"))?,
+                digest: field_u64(payload, "digest").ok_or_else(|| missing("digest"))?,
+                metrics_json: field_str(payload, "metrics").ok_or_else(|| missing("metrics"))?,
+            })),
+            "status" => Ok(Response::Status {
+                job: job()?,
+                state: field_str(payload, "state").ok_or_else(|| missing("state"))?,
+                digest: field_u64(payload, "digest").ok_or_else(|| missing("digest"))?,
+            }),
+            "stats" => Ok(Response::Stats(ServerStats {
+                submitted: field_u64(payload, "submitted").ok_or_else(|| missing("submitted"))?,
+                completed: field_u64(payload, "completed").ok_or_else(|| missing("completed"))?,
+                rejected: field_u64(payload, "rejected").ok_or_else(|| missing("rejected"))?,
+                resumed: field_u64(payload, "resumed").ok_or_else(|| missing("resumed"))?,
+                queue_depth: field_u64(payload, "queue_depth")
+                    .ok_or_else(|| missing("queue_depth"))?,
+                peak_queue_depth: field_u64(payload, "peak_queue_depth")
+                    .ok_or_else(|| missing("peak_queue_depth"))?,
+                queue_cap: field_u64(payload, "queue_cap").ok_or_else(|| missing("queue_cap"))?,
+                draining: field_bool(payload, "draining").ok_or_else(|| missing("draining"))?,
+                metrics_json: field_str(payload, "metrics").ok_or_else(|| missing("metrics"))?,
+            })),
+            "draining" => Ok(Response::Draining {
+                pending: field_u64(payload, "pending").ok_or_else(|| missing("pending"))?,
+            }),
+            "error" => Ok(Response::Error {
+                detail: field_str(payload, "detail").ok_or_else(|| missing("detail"))?,
+            }),
+            other => Err(WireError::BadMessage {
+                detail: format!("unknown response \"{other}\""),
+            }),
+        }
+    }
+}
+
+impl JobSpec {
+    /// Renders the spec as the flat fields of a submit/journal body (no
+    /// surrounding braces, so callers can prepend their own fields).
+    pub fn encode_fields(&self) -> String {
+        format!(
+            "\"kind\": \"{}\", \"trials\": {}, \"seed\": {}, \"threads\": {}, \
+             \"deadline_steps\": {}, \"retry_budget\": {}, \"flake_ppm\": {}",
+            self.kind.tag(),
+            self.trials,
+            self.master_seed,
+            self.threads,
+            self.deadline_steps,
+            self.retry_budget,
+            self.flake_ppm
+        )
+    }
+
+    /// Parses the flat fields written by [`JobSpec::encode_fields`].
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::BadMessage`] on a missing or ill-typed field, an
+    /// unknown kind, or a zero trial count.
+    pub fn decode_fields(body: &str) -> Result<JobSpec, WireError> {
+        let kind = match field_str(body, "kind")
+            .ok_or_else(|| missing("kind"))?
+            .as_str()
+        {
+            "nv_core" => JobKind::NvCore,
+            "nv_s" => JobKind::NvS,
+            other => {
+                return Err(WireError::BadMessage {
+                    detail: format!("unknown job kind \"{other}\""),
+                })
+            }
+        };
+        let trials = field_u64(body, "trials").ok_or_else(|| missing("trials"))?;
+        if trials == 0 {
+            return Err(WireError::BadMessage {
+                detail: "a job must have at least one trial".to_string(),
+            });
+        }
+        Ok(JobSpec {
+            kind,
+            trials: trials as usize,
+            master_seed: field_u64(body, "seed").ok_or_else(|| missing("seed"))?,
+            threads: field_u64(body, "threads").ok_or_else(|| missing("threads"))? as usize,
+            deadline_steps: field_u64(body, "deadline_steps")
+                .ok_or_else(|| missing("deadline_steps"))?,
+            retry_budget: field_u64(body, "retry_budget").ok_or_else(|| missing("retry_budget"))?
+                as usize,
+            flake_ppm: field_u64(body, "flake_ppm").ok_or_else(|| missing("flake_ppm"))? as u32,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            kind: JobKind::NvCore,
+            trials: 4,
+            master_seed: 0xbeef,
+            threads: 2,
+            deadline_steps: 20_000,
+            retry_budget: 3,
+            flake_ppm: 250_000,
+        }
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        for req in [
+            Request::Submit {
+                tenant: "acme \"quoted\", \"trials\": 9".to_string(),
+                spec: spec(),
+            },
+            Request::Status { job: 7 },
+            Request::Stats,
+            Request::Drain,
+        ] {
+            assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn hostile_tenant_name_cannot_inject_fields() {
+        // The tenant string carries what looks like a trials field; the
+        // escaped quotes must keep it inert.
+        let req = Request::Submit {
+            tenant: "evil\", \"trials\": 1".to_string(),
+            spec: spec(),
+        };
+        let decoded = Request::decode(&req.encode()).unwrap();
+        let Request::Submit { tenant, spec: s } = decoded else {
+            panic!("submit expected");
+        };
+        assert_eq!(tenant, "evil\", \"trials\": 1");
+        assert_eq!(s.trials, 4);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        for resp in [
+            Response::Accepted { job: 3 },
+            Response::Rejected {
+                reason: RejectReason::QueueFull { depth: 8, cap: 8 },
+            },
+            Response::Rejected {
+                reason: RejectReason::TenantQuota {
+                    active: 2,
+                    quota: 2,
+                },
+            },
+            Response::Rejected {
+                reason: RejectReason::Draining,
+            },
+            Response::Trial(TrialUpdate {
+                job: 3,
+                index: 1,
+                outcome: "completed".to_string(),
+                value: 42,
+                resumed: true,
+            }),
+            Response::Done(JobReport {
+                job: 3,
+                trials: 4,
+                completed: 4,
+                quarantined: 0,
+                resumed_trials: 2,
+                passes: 1,
+                digest: 0xdead_beef,
+                metrics_json: "{\"trials\": 4}".to_string(),
+            }),
+            Response::Status {
+                job: 9,
+                state: "done".to_string(),
+                digest: 12,
+            },
+            Response::Stats(ServerStats {
+                submitted: 10,
+                completed: 8,
+                rejected: 1,
+                resumed: 1,
+                queue_depth: 1,
+                peak_queue_depth: 4,
+                queue_cap: 8,
+                draining: false,
+                metrics_json: "{}".to_string(),
+            }),
+            Response::Draining { pending: 2 },
+            Response::Error {
+                detail: "bad frame".to_string(),
+            },
+        ] {
+            assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn malformed_messages_are_typed_errors() {
+        for bad in [
+            "",
+            "{}",
+            "{\"op\": \"warp\"}",
+            "{\"op\": \"submit\"}",
+            "{\"op\": \"submit\", \"tenant\": \"t\", \"kind\": \"nv_core\", \"trials\": 0, \
+             \"seed\": 1, \"threads\": 1, \"deadline_steps\": 0, \"retry_budget\": 0, \
+             \"flake_ppm\": 0}",
+            "{\"re\": \"nothing\"}",
+        ] {
+            let req = Request::decode(bad);
+            let resp = Response::decode(bad);
+            assert!(
+                matches!(req, Err(WireError::BadMessage { .. }))
+                    && matches!(resp, Err(WireError::BadMessage { .. })),
+                "{bad:?} must decode to BadMessage, got {req:?} / {resp:?}"
+            );
+        }
+    }
+}

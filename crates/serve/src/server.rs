@@ -1,0 +1,625 @@
+//! The campaign server: admission control, a bounded job queue, a
+//! supervised worker pool, and journaled crash recovery.
+//!
+//! Life of a job:
+//!
+//! 1. a connection thread decodes a `submit` frame and runs **admission**
+//!    under the state lock: draining ⇒ typed reject; bounded queue full
+//!    ⇒ typed reject; tenant over quota ⇒ typed reject; otherwise the
+//!    job id is assigned, the admission is **journaled and flushed**,
+//!    and only then does `Accepted` leave the server — a job the client
+//!    saw accepted is a job a `kill -9` cannot lose;
+//! 2. a worker pops the job and runs it through
+//!    [`crate::job::run_job`] — checkpointed trials, watchdog deadlines,
+//!    exponential-backoff healing — streaming [`Response::Trial`] frames
+//!    back through the submitting connection;
+//! 3. the final [`Response::Done`] carries the job's report and digest;
+//!    the completion is journaled and the per-job checkpoint deleted.
+//!
+//! On restart the journal is replayed: accepted-but-unfinished jobs are
+//! re-queued (their checkpoints resume them mid-campaign), finished jobs
+//! keep answering status queries with their digests. Server lifecycle is
+//! observable: admissions, rejections, resumes, completions and torn
+//! journals all count in the nv-obs metrics served by `stats`.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use nv_obs::{ObsEvent, Recorder};
+
+use crate::job::{run_job, JobSpec};
+use crate::journal::JobJournal;
+use crate::proto::{JobReport, RejectReason, Request, Response, ServerStats};
+use crate::wire::{is_protocol_violation, read_frame, write_frame, WireError};
+
+/// Server tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 to let the OS pick.
+    pub addr: String,
+    /// Worker-pool size (0 = size for the host, like
+    /// `Campaign::threads(0)`).
+    pub workers: usize,
+    /// Bounded queue cap: admissions beyond it are rejected typed.
+    pub queue_cap: usize,
+    /// Max queued-plus-running jobs per tenant.
+    pub tenant_quota: usize,
+    /// Directory for the journal and per-job checkpoints.
+    pub spool: PathBuf,
+}
+
+impl ServerConfig {
+    /// A loopback server spooling into `spool`.
+    pub fn new(spool: impl Into<PathBuf>) -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            queue_cap: 64,
+            tenant_quota: 64,
+            spool: spool.into(),
+        }
+    }
+}
+
+/// Where a job is in its lifecycle.
+#[derive(Clone, Debug)]
+enum JobState {
+    Queued,
+    Running,
+    Done(JobReport),
+    // The detail is surfaced through the Debug impl (operator logs) and
+    // the error frame already sent to the submitter.
+    Failed(#[allow(dead_code)] String),
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: u64,
+    completed: u64,
+    rejected: u64,
+    resumed: u64,
+}
+
+struct QueuedJob {
+    job: u64,
+    tenant: String,
+    spec: JobSpec,
+    updates: Option<Sender<Response>>,
+}
+
+struct State {
+    queue: VecDeque<QueuedJob>,
+    tenants: HashMap<String, usize>,
+    jobs: HashMap<u64, JobState>,
+    done_digests: BTreeMap<u64, u64>,
+    next_job: u64,
+    running: usize,
+    draining: bool,
+    shutdown: bool,
+    peak_depth: usize,
+    counters: Counters,
+}
+
+struct Inner {
+    config: ServerConfig,
+    state: Mutex<State>,
+    work_ready: Condvar,
+    idle: Condvar,
+    journal: JobJournal,
+    recorder: Mutex<Recorder>,
+}
+
+impl Inner {
+    fn observe(&self, event: ObsEvent) {
+        self.recorder
+            .lock()
+            .expect("server recorder poisoned")
+            .event(0, event);
+    }
+
+    fn checkpoint_path(&self, job: u64) -> PathBuf {
+        self.config.spool.join(format!("job_{job}.ckpt"))
+    }
+
+    /// Admission control. On success the job is journaled and queued and
+    /// the caller gets the update stream's receiving end.
+    fn admit(
+        &self,
+        tenant: &str,
+        spec: JobSpec,
+    ) -> Result<Result<(u64, Receiver<Response>), RejectReason>, std::io::Error> {
+        let mut state = self.state.lock().expect("server state poisoned");
+        if state.draining || state.shutdown {
+            state.counters.rejected += 1;
+            drop(state);
+            self.observe(ObsEvent::JobRejected { reason: "draining" });
+            return Ok(Err(RejectReason::Draining));
+        }
+        if state.queue.len() >= self.config.queue_cap {
+            let depth = state.queue.len() as u64;
+            state.counters.rejected += 1;
+            drop(state);
+            self.observe(ObsEvent::JobRejected {
+                reason: "queue_full",
+            });
+            return Ok(Err(RejectReason::QueueFull {
+                depth,
+                cap: self.config.queue_cap as u64,
+            }));
+        }
+        let active = state.tenants.get(tenant).copied().unwrap_or(0);
+        if active >= self.config.tenant_quota {
+            state.counters.rejected += 1;
+            drop(state);
+            self.observe(ObsEvent::JobRejected {
+                reason: "tenant_quota",
+            });
+            return Ok(Err(RejectReason::TenantQuota {
+                active: active as u64,
+                quota: self.config.tenant_quota as u64,
+            }));
+        }
+
+        let job = state.next_job;
+        // Durable before visible: flush the admission record while still
+        // holding the lock, so ids are journaled in order and a crash
+        // between "accepted" and "queued" cannot happen.
+        self.journal.record_accept(job, tenant, &spec)?;
+        state.next_job += 1;
+        *state.tenants.entry(tenant.to_string()).or_insert(0) += 1;
+        let (tx, rx) = mpsc::channel();
+        state.queue.push_back(QueuedJob {
+            job,
+            tenant: tenant.to_string(),
+            spec,
+            updates: Some(tx),
+        });
+        state.peak_depth = state.peak_depth.max(state.queue.len());
+        state.jobs.insert(job, JobState::Queued);
+        state.counters.submitted += 1;
+        drop(state);
+        self.observe(ObsEvent::JobAdmitted { job });
+        self.work_ready.notify_one();
+        Ok(Ok((job, rx)))
+    }
+
+    fn stats(&self) -> ServerStats {
+        let state = self.state.lock().expect("server state poisoned");
+        let metrics_json = {
+            let mut recorder = self.recorder.lock().expect("server recorder poisoned");
+            recorder.finish();
+            recorder.metrics().to_json()
+        };
+        ServerStats {
+            submitted: state.counters.submitted,
+            completed: state.counters.completed,
+            rejected: state.counters.rejected,
+            resumed: state.counters.resumed,
+            queue_depth: state.queue.len() as u64,
+            peak_queue_depth: state.peak_depth as u64,
+            queue_cap: self.config.queue_cap as u64,
+            draining: state.draining,
+            metrics_json,
+        }
+    }
+
+    fn status(&self, job: u64) -> Response {
+        let state = self.state.lock().expect("server state poisoned");
+        let (state_tag, digest) = match state.jobs.get(&job) {
+            Some(JobState::Queued) => ("queued", 0),
+            Some(JobState::Running) => ("running", 0),
+            Some(JobState::Done(report)) => ("done", report.digest),
+            Some(JobState::Failed(_)) => ("failed", 0),
+            None => match state.done_digests.get(&job) {
+                Some(digest) => ("done", *digest),
+                None => ("unknown", 0),
+            },
+        };
+        Response::Status {
+            job,
+            state: state_tag.to_string(),
+            digest,
+        }
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let queued = {
+                let mut state = self.state.lock().expect("server state poisoned");
+                loop {
+                    if state.shutdown {
+                        return;
+                    }
+                    if let Some(job) = state.queue.pop_front() {
+                        state.running += 1;
+                        state.jobs.insert(job.job, JobState::Running);
+                        break job;
+                    }
+                    state = self.work_ready.wait(state).expect("server state poisoned");
+                }
+            };
+
+            let QueuedJob {
+                job,
+                tenant,
+                spec,
+                updates,
+            } = queued;
+            let path = self.checkpoint_path(job);
+            let updates = updates.map(Mutex::new);
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                run_job(job, &spec, &path, |update| {
+                    if let Some(tx) = &updates {
+                        let _ = tx
+                            .lock()
+                            .expect("update sender poisoned")
+                            .send(Response::Trial(update));
+                    }
+                })
+            }));
+
+            let final_response = match result {
+                Ok(Ok(report)) => {
+                    // Journal the completion before deleting the
+                    // checkpoint: a crash between the two re-runs nothing
+                    // (the done record wins); the reverse order would
+                    // re-run the whole job from zero.
+                    let journaled = self.journal.record_done(job, report.digest);
+                    if journaled.is_ok() {
+                        let _ = std::fs::remove_file(&path);
+                    }
+                    let mut state = self.state.lock().expect("server state poisoned");
+                    state.done_digests.insert(job, report.digest);
+                    state.jobs.insert(job, JobState::Done(report.clone()));
+                    state.counters.completed += 1;
+                    drop(state);
+                    self.observe(ObsEvent::JobCompleted { job });
+                    Response::Done(report)
+                }
+                Ok(Err(err)) => {
+                    let detail = format!("job {job} failed: {err}");
+                    let mut state = self.state.lock().expect("server state poisoned");
+                    state.jobs.insert(job, JobState::Failed(detail.clone()));
+                    drop(state);
+                    Response::Error { detail }
+                }
+                Err(_) => {
+                    let detail = format!("job {job} panicked outside the campaign engine");
+                    let mut state = self.state.lock().expect("server state poisoned");
+                    state.jobs.insert(job, JobState::Failed(detail.clone()));
+                    drop(state);
+                    Response::Error { detail }
+                }
+            };
+            if let Some(tx) = &updates {
+                let _ = tx
+                    .lock()
+                    .expect("update sender poisoned")
+                    .send(final_response);
+            }
+
+            let mut state = self.state.lock().expect("server state poisoned");
+            state.running -= 1;
+            if let Some(active) = state.tenants.get_mut(&tenant) {
+                *active = active.saturating_sub(1);
+                if *active == 0 {
+                    state.tenants.remove(&tenant);
+                }
+            }
+            let quiescent = state.running == 0 && state.queue.is_empty();
+            drop(state);
+            if quiescent {
+                self.idle.notify_all();
+            }
+        }
+    }
+
+    fn handle_connection(&self, mut stream: TcpStream) {
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+        loop {
+            let payload = match read_frame(&mut stream) {
+                Ok(payload) => payload,
+                Err(WireError::Closed) => return,
+                Err(WireError::Io(kind))
+                    if kind == std::io::ErrorKind::WouldBlock
+                        || kind == std::io::ErrorKind::TimedOut =>
+                {
+                    if self.state.lock().expect("server state poisoned").shutdown {
+                        return;
+                    }
+                    continue;
+                }
+                Err(err) => {
+                    // Hostile or damaged peer: answer typed, then hang up.
+                    if is_protocol_violation(&err) {
+                        let _ = write_frame(
+                            &mut stream,
+                            &Response::Error {
+                                detail: err.to_string(),
+                            }
+                            .encode(),
+                        );
+                    }
+                    return;
+                }
+            };
+            let request = match Request::decode(&payload) {
+                Ok(request) => request,
+                Err(err) => {
+                    let _ = write_frame(
+                        &mut stream,
+                        &Response::Error {
+                            detail: err.to_string(),
+                        }
+                        .encode(),
+                    );
+                    return;
+                }
+            };
+            let keep_going = match request {
+                Request::Submit { tenant, spec } => self.handle_submit(&mut stream, &tenant, spec),
+                Request::Status { job } => {
+                    write_frame(&mut stream, &self.status(job).encode()).is_ok()
+                }
+                Request::Stats => {
+                    write_frame(&mut stream, &Response::Stats(self.stats()).encode()).is_ok()
+                }
+                Request::Drain => {
+                    let pending = {
+                        let mut state = self.state.lock().expect("server state poisoned");
+                        state.draining = true;
+                        (state.queue.len() + state.running) as u64
+                    };
+                    write_frame(&mut stream, &Response::Draining { pending }.encode()).is_ok()
+                }
+            };
+            if !keep_going {
+                return;
+            }
+        }
+    }
+
+    fn handle_submit(&self, stream: &mut TcpStream, tenant: &str, spec: JobSpec) -> bool {
+        match self.admit(tenant, spec) {
+            Ok(Ok((job, rx))) => {
+                if write_frame(stream, &Response::Accepted { job }.encode()).is_err() {
+                    return false;
+                }
+                // Forward the update stream until the job's last word.
+                loop {
+                    match rx.recv() {
+                        Ok(response) => {
+                            let last =
+                                matches!(response, Response::Done(_) | Response::Error { .. });
+                            if write_frame(stream, &response.encode()).is_err() {
+                                // Client gone; the job keeps running and
+                                // stays queryable via `status`.
+                                return false;
+                            }
+                            if last {
+                                return true;
+                            }
+                        }
+                        Err(_) => {
+                            // Workers are gone (shutdown with the job
+                            // still queued); the journal will resume it.
+                            let _ = write_frame(
+                                stream,
+                                &Response::Error {
+                                    detail: format!(
+                                        "job {job} interrupted by shutdown; it will resume on restart"
+                                    ),
+                                }
+                                .encode(),
+                            );
+                            return false;
+                        }
+                    }
+                }
+            }
+            Ok(Err(reason)) => write_frame(stream, &Response::Rejected { reason }.encode()).is_ok(),
+            Err(err) => {
+                let _ = write_frame(
+                    stream,
+                    &Response::Error {
+                        detail: format!("admission journaling failed: {err}"),
+                    }
+                    .encode(),
+                );
+                false
+            }
+        }
+    }
+}
+
+/// A running campaign server. Dropping it does *not* stop the threads;
+/// call [`Server::shutdown`].
+pub struct Server {
+    inner: Arc<Inner>,
+    local_addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds, replays the journal (re-queuing in-flight jobs), and
+    /// spawns the acceptor and worker pool.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure binding the listener or opening the spool/journal.
+    pub fn start(config: ServerConfig) -> std::io::Result<Server> {
+        std::fs::create_dir_all(&config.spool)?;
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let (journal, replay) = JobJournal::open(config.spool.join("jobs.jsonl"))?;
+
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            config.workers
+        };
+
+        let mut state = State {
+            queue: VecDeque::new(),
+            tenants: HashMap::new(),
+            jobs: HashMap::new(),
+            done_digests: replay.done.clone(),
+            next_job: replay.next_job,
+            running: 0,
+            draining: false,
+            shutdown: false,
+            peak_depth: 0,
+            counters: Counters::default(),
+        };
+        // Re-queue every in-flight job from the journal. Resumed jobs
+        // bypass the admission cap: they hold an admission from a
+        // previous life, and refusing them would strand their journal
+        // entries forever.
+        for pending in &replay.pending {
+            *state.tenants.entry(pending.tenant.clone()).or_insert(0) += 1;
+            state.jobs.insert(pending.job, JobState::Queued);
+            state.queue.push_back(QueuedJob {
+                job: pending.job,
+                tenant: pending.tenant.clone(),
+                spec: pending.spec,
+                updates: None,
+            });
+            state.counters.resumed += 1;
+        }
+        state.peak_depth = state.queue.len();
+
+        let inner = Arc::new(Inner {
+            config,
+            state: Mutex::new(state),
+            work_ready: Condvar::new(),
+            idle: Condvar::new(),
+            journal,
+            recorder: Mutex::new(Recorder::new(1024)),
+        });
+        if replay.dropped_records > 0 {
+            inner.observe(ObsEvent::CheckpointTorn {
+                records: replay.dropped_records as u64,
+                bytes: replay.dropped_bytes,
+            });
+        }
+        for pending in &replay.pending {
+            inner.observe(ObsEvent::JobResumed { job: pending.job });
+        }
+        inner.work_ready.notify_all();
+
+        let worker_handles: Vec<JoinHandle<()>> = (0..workers)
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || inner.worker_loop())
+            })
+            .collect();
+
+        let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::default();
+        let acceptor = {
+            let inner = Arc::clone(&inner);
+            let connections = Arc::clone(&connections);
+            std::thread::spawn(move || loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if inner.state.lock().expect("server state poisoned").shutdown {
+                            return;
+                        }
+                        let conn_inner = Arc::clone(&inner);
+                        let handle =
+                            std::thread::spawn(move || conn_inner.handle_connection(stream));
+                        connections
+                            .lock()
+                            .expect("connection registry poisoned")
+                            .push(handle);
+                    }
+                    Err(_) => {
+                        if inner.state.lock().expect("server state poisoned").shutdown {
+                            return;
+                        }
+                    }
+                }
+            })
+        };
+
+        Ok(Server {
+            inner,
+            local_addr,
+            acceptor: Some(acceptor),
+            workers: worker_handles,
+            connections,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Jobs currently queued or running.
+    pub fn pending_jobs(&self) -> usize {
+        let state = self.inner.state.lock().expect("server state poisoned");
+        state.queue.len() + state.running
+    }
+
+    /// Blocks until the queue is empty and no job is running, or the
+    /// timeout elapses. Returns whether quiescence was reached.
+    pub fn wait_idle(&self, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut state = self.inner.state.lock().expect("server state poisoned");
+        while !state.queue.is_empty() || state.running > 0 {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (next, _) = self
+                .inner
+                .idle
+                .wait_timeout(state, deadline - now)
+                .expect("server state poisoned");
+            state = next;
+        }
+        true
+    }
+
+    /// Stops accepting, abandons queued jobs to the journal (a restart
+    /// resumes them), finishes jobs already running, and joins every
+    /// thread.
+    pub fn shutdown(mut self) {
+        {
+            let mut state = self.inner.state.lock().expect("server state poisoned");
+            state.shutdown = true;
+            // Dropping queued jobs drops their update senders, which
+            // unblocks their submit connections with a typed error; the
+            // journal still holds their admissions for the next start.
+            state.queue.clear();
+        }
+        self.inner.work_ready.notify_all();
+        // Unblock the acceptor with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        let connections = {
+            let mut registry = self
+                .connections
+                .lock()
+                .expect("connection registry poisoned");
+            registry.drain(..).collect::<Vec<_>>()
+        };
+        for connection in connections {
+            let _ = connection.join();
+        }
+    }
+}
