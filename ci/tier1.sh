@@ -113,3 +113,38 @@ assert r["kill_effective"] is True, f"no jobs were in flight at the kill: {r}"
 assert [leg["workers"] for leg in r["legs"]] == [1, 2, 8], \
     f"resume identity must be proven at worker counts 1/2/8: {r}"
 EOF
+
+# Chaos-transport smoke: the chaos binary's own assertions gate the
+# per-intensity census (every job in exactly one typed terminal, no
+# trial outcome lost or duplicated, digests byte-identical to the quiet
+# baseline) and client session resume across a SIGKILL behind the proxy;
+# on top, the emitted JSON must parse, the quiet control cell must have
+# injected nothing, at least one cell must have injected something, and
+# the drill must hold at worker counts 1/2/8.
+./target/release/repro_chaos --smoke
+python3 -m json.tool target/BENCH_chaos_smoke.json > /dev/null
+python3 - <<'EOF'
+import json
+
+with open("target/BENCH_chaos_smoke.json") as f:
+    chaos = json.load(f)
+cells = chaos["cells"]
+quiet = cells[0]
+assert quiet["intensity"] == 0.0, f"cells[0] is not the quiet control cell: {quiet}"
+def injected(c):
+    f = c["faults"]
+    return f["resets"] + f["cuts"] + f["corruptions"] + f["stalls"] + \
+        f["partial_writes"] + f["duplicates"]
+assert injected(quiet) == 0, f"the quiet control cell injected faults: {quiet}"
+assert any(injected(c) > 0 for c in cells), f"no cell injected any fault: {cells}"
+for c in cells:
+    assert c["completed"] == c["jobs"], f"a job missed its typed terminal: {c}"
+    assert c["identical"] is True, f"a digest diverged from the quiet baseline: {c}"
+    assert c["census_exact"] is True, f"a trial outcome was lost or duplicated: {c}"
+d = chaos["drill"]
+assert d["resume_identical"] is True, \
+    f"a client session crossed the SIGKILL to a wrong result: {d}"
+assert d["kill_effective"] is True, f"no jobs were in flight at the kill: {d}"
+assert [leg["workers"] for leg in d["legs"]] == [1, 2, 8], \
+    f"chaos resume must be proven at worker counts 1/2/8: {d}"
+EOF

@@ -16,6 +16,7 @@
 //! | `repro_obs_profile` | observability profile: NV-S phase breakdown, campaign metrics, disabled-overhead ≤ 2 % |
 //! | `repro_resilience` | fault tolerance: quarantine/retry/deadline outcomes, kill-and-resume checkpoint identity |
 //! | `repro_serve` | extraction-as-a-service: server throughput, typed overload rejection, SIGKILL-and-restart job identity |
+//! | `repro_chaos` | chaos transport: fault-injection intensity sweep census, SIGKILL-through-proxy client session resume |
 //!
 //! The library half holds the shared experiment plumbing so the binaries
 //! stay declarative.
@@ -23,6 +24,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos_load;
 pub mod experiments;
 pub mod microbench;
 pub mod noise;

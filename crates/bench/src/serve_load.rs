@@ -286,7 +286,7 @@ impl ServeResumeReport {
 
 /// Spawns `exe --serve` as a child server process on `spool` and waits
 /// for its `LISTENING` line.
-fn spawn_server(exe: &Path, spool: &Path, workers: usize) -> (Child, SocketAddr) {
+pub(crate) fn spawn_server(exe: &Path, spool: &Path, workers: usize) -> (Child, SocketAddr) {
     let mut child = Command::new(exe)
         .arg("--serve")
         .arg("--spool")
@@ -331,7 +331,7 @@ pub fn serve_forever(spool: &Path, workers: usize) -> ! {
     }
 }
 
-fn poll_status(addr: SocketAddr, job: u64, deadline: Duration) -> (String, u64) {
+pub(crate) fn poll_status(addr: SocketAddr, job: u64, deadline: Duration) -> (String, u64) {
     let started = Instant::now();
     loop {
         // Reconnect per poll: a status probe must not depend on the
@@ -373,7 +373,7 @@ pub fn resume_demo(
         .enumerate()
         .map(|(i, spec)| {
             let path = scratch_dir(&format!("baseline_{i}")).with_extension("ckpt");
-            let report = run_job(0, spec, &path, |_| {}).expect("baseline job");
+            let report = run_job(0, spec, &path, None, |_| {}).expect("baseline job");
             let _ = std::fs::remove_file(&path);
             report.digest
         })

@@ -608,7 +608,14 @@ impl Campaign {
                         TrialOutcome::Panicked { message }
                     }
                 };
-                let done = attempt_outcome.is_completed();
+                let done = attempt_outcome.is_completed()
+                    // A cancelled trial must not burn its retry budget:
+                    // every further attempt would observe the same raised
+                    // flag and fail identically, only slower.
+                    || matches!(
+                        attempt_outcome,
+                        TrialOutcome::Failed(AttackError::Cancelled)
+                    );
                 outcome = Some(attempt_outcome);
                 if done {
                     break;

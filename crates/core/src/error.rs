@@ -97,6 +97,11 @@ pub enum AttackError {
         /// The armed step budget.
         limit: u64,
     },
+    /// The run was cancelled from outside ([`nv_uarch::Core::set_cancel_flag`]):
+    /// a supervisor — the campaign server acting on a wire-level `Cancel`,
+    /// or a drain deadline — raised the core's cancellation flag, and the
+    /// attack's cooperative deadline check observed it.
+    Cancelled,
     /// The rig was probed before [`crate::AttackerRig::calibrate`].
     NotCalibrated,
     /// A chain of this many windows produces more LBR records than the
@@ -150,6 +155,9 @@ impl fmt::Display for AttackError {
                 f,
                 "watchdog deadline exceeded: {consumed} retirement steps consumed of a {limit}-step budget"
             ),
+            AttackError::Cancelled => {
+                write!(f, "the run was cancelled by its supervisor")
+            }
             AttackError::NotCalibrated => {
                 write!(f, "attacker rig must be calibrated before probing")
             }
@@ -186,14 +194,21 @@ impl AttackError {
         }
     }
 
-    /// Returns [`AttackError::DeadlineExceeded`] if the core's watchdog is
-    /// armed and its step budget has expired, `Ok(())` otherwise (including
-    /// when no watchdog is armed, so unsupervised paths are exact no-ops).
+    /// Returns [`AttackError::Cancelled`] if the core's cancellation flag
+    /// is raised, [`AttackError::DeadlineExceeded`] if the core's watchdog
+    /// is armed and its step budget has expired, `Ok(())` otherwise
+    /// (including when neither is attached, so unsupervised paths are
+    /// exact no-ops).
     ///
     /// The attack layers call this at the top of their run loops; it is the
-    /// single point where a wedged enclave or probe chain is converted into
-    /// a typed outcome instead of an unbounded worker.
+    /// single point where a wedged enclave or probe chain — or a wire-level
+    /// cancellation — is converted into a typed outcome instead of an
+    /// unbounded worker. Cancellation wins over deadline expiry: an
+    /// explicit order beats a passive budget.
     pub fn check_deadline(core: &nv_uarch::Core) -> Result<(), AttackError> {
+        if core.cancel_requested() {
+            return Err(AttackError::Cancelled);
+        }
         match core.watchdog() {
             Some((consumed, limit)) if consumed >= limit => {
                 Err(AttackError::DeadlineExceeded { consumed, limit })
@@ -236,6 +251,7 @@ mod tests {
                 consumed: 5_021,
                 limit: 5_000,
             },
+            AttackError::Cancelled,
             AttackError::NotCalibrated,
             AttackError::ChainExceedsLbr {
                 windows: 32,

@@ -153,6 +153,31 @@ pub enum ObsEvent {
         /// Server-assigned job id.
         job: u64,
     },
+    /// A wire-level cancellation terminated a job before completion.
+    JobCancelled {
+        /// Server-assigned job id.
+        job: u64,
+    },
+    /// A client re-attached to a job's outcome stream with
+    /// `resume_stream`, replaying updates after its cursor.
+    StreamResumed {
+        /// Server-assigned job id.
+        job: u64,
+        /// The client's `last_seen_seq` cursor.
+        from_seq: u64,
+    },
+    /// A connection write blew its deadline (a stalled or non-reading
+    /// peer); the connection was dropped instead of wedging a writer.
+    ConnWriteStalled {
+        /// The write deadline that expired, in milliseconds.
+        timeout_ms: u64,
+    },
+    /// A half-open connection sent no frame (not even a ping) within the
+    /// idle deadline and was reaped.
+    ConnIdleReaped {
+        /// The idle deadline that expired, in milliseconds.
+        timeout_ms: u64,
+    },
 }
 
 /// The event's kind — a dense index for counter arrays and a stable name
@@ -197,11 +222,19 @@ pub enum EventKind {
     JobResumed,
     /// [`ObsEvent::JobCompleted`].
     JobCompleted,
+    /// [`ObsEvent::JobCancelled`].
+    JobCancelled,
+    /// [`ObsEvent::StreamResumed`].
+    StreamResumed,
+    /// [`ObsEvent::ConnWriteStalled`].
+    ConnWriteStalled,
+    /// [`ObsEvent::ConnIdleReaped`].
+    ConnIdleReaped,
 }
 
 impl EventKind {
     /// Number of kinds (the counter-array length).
-    pub const COUNT: usize = 19;
+    pub const COUNT: usize = 23;
 
     /// Every kind, in counter order.
     pub const ALL: [EventKind; EventKind::COUNT] = [
@@ -224,6 +257,10 @@ impl EventKind {
         EventKind::JobRejected,
         EventKind::JobResumed,
         EventKind::JobCompleted,
+        EventKind::JobCancelled,
+        EventKind::StreamResumed,
+        EventKind::ConnWriteStalled,
+        EventKind::ConnIdleReaped,
     ];
 
     /// Whether this kind is emitted by the campaign fault-tolerance layer
@@ -253,6 +290,10 @@ impl EventKind {
                 | EventKind::JobRejected
                 | EventKind::JobResumed
                 | EventKind::JobCompleted
+                | EventKind::JobCancelled
+                | EventKind::StreamResumed
+                | EventKind::ConnWriteStalled
+                | EventKind::ConnIdleReaped
         )
     }
 
@@ -283,6 +324,10 @@ impl EventKind {
             EventKind::JobRejected => "job_rejected",
             EventKind::JobResumed => "job_resumed",
             EventKind::JobCompleted => "job_completed",
+            EventKind::JobCancelled => "job_cancelled",
+            EventKind::StreamResumed => "stream_resumed",
+            EventKind::ConnWriteStalled => "conn_write_stalled",
+            EventKind::ConnIdleReaped => "conn_idle_reaped",
         }
     }
 }
@@ -310,6 +355,10 @@ impl ObsEvent {
             ObsEvent::JobRejected { .. } => EventKind::JobRejected,
             ObsEvent::JobResumed { .. } => EventKind::JobResumed,
             ObsEvent::JobCompleted { .. } => EventKind::JobCompleted,
+            ObsEvent::JobCancelled { .. } => EventKind::JobCancelled,
+            ObsEvent::StreamResumed { .. } => EventKind::StreamResumed,
+            ObsEvent::ConnWriteStalled { .. } => EventKind::ConnWriteStalled,
+            ObsEvent::ConnIdleReaped { .. } => EventKind::ConnIdleReaped,
         }
     }
 
@@ -387,11 +436,18 @@ impl ObsEvent {
             }
             ObsEvent::JobAdmitted { job }
             | ObsEvent::JobResumed { job }
-            | ObsEvent::JobCompleted { job } => {
+            | ObsEvent::JobCompleted { job }
+            | ObsEvent::JobCancelled { job } => {
                 format!("{{\"job\": {job}}}")
             }
             ObsEvent::JobRejected { reason } => {
                 format!("{{\"reason\": \"{reason}\"}}")
+            }
+            ObsEvent::StreamResumed { job, from_seq } => {
+                format!("{{\"job\": {job}, \"from_seq\": {from_seq}}}")
+            }
+            ObsEvent::ConnWriteStalled { timeout_ms } | ObsEvent::ConnIdleReaped { timeout_ms } => {
+                format!("{{\"timeout_ms\": {timeout_ms}}}")
             }
         }
     }
@@ -448,7 +504,11 @@ mod tests {
                 "job_admitted",
                 "job_rejected",
                 "job_resumed",
-                "job_completed"
+                "job_completed",
+                "job_cancelled",
+                "stream_resumed",
+                "conn_write_stalled",
+                "conn_idle_reaped"
             ]
         );
         // The two lifecycle families are disjoint.

@@ -1,0 +1,405 @@
+//! A deterministic chaos proxy for the campaign wire protocol.
+//!
+//! [`ChaosProxy`] sits between a client and a server as a plain TCP
+//! relay and injects network faults on a schedule derived entirely from
+//! one `u64` seed: connection resets, mid-frame cuts, byte corruption,
+//! delivery stalls, pathological partial writes, and duplicate frame
+//! delivery. The same seed against the same traffic injects the same
+//! faults — a chaos run that breaks something is *replayable*, which is
+//! the difference between a flaky test and a regression test.
+//!
+//! Determinism comes from [`nv_rand::Rng::stream`]: each accepted
+//! connection is numbered by an atomic counter, and each pump direction
+//! draws its fault schedule from `Rng::stream(seed, conn * 2 + dir)` —
+//! the fault sequence for a given connection index and direction is a
+//! pure function of the seed, independent of thread interleaving.
+//!
+//! The pumps are frame-aware: they cut *inside* frames (exercising the
+//! receiver's truncation handling), corrupt bytes *within* checksummed
+//! regions (exercising `ChecksumMismatch`), and duplicate whole frames
+//! (exercising client-side sequence/index deduplication) — faults a
+//! byte-blind relay could only approximate. A connection that stops
+//! looking like the protocol (bad magic, oversized length) degrades to
+//! a transparent byte relay so the proxy never invents traffic.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use nv_rand::Rng;
+
+use crate::wire::{MAGIC, MAX_PAYLOAD};
+
+/// How long a pump waits per blocked read before re-checking shutdown.
+const POLL: Duration = Duration::from_millis(50);
+
+/// Fault probabilities, all per-frame (except `reset_on_accept`,
+/// per-connection-direction). All must lie in `[0, 1]`.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosPlan {
+    /// Master seed; the entire fault schedule derives from it.
+    pub seed: u64,
+    /// Chance a freshly accepted connection is reset before any byte.
+    pub reset_on_accept: f64,
+    /// Chance a frame is cut partway through and the connection reset —
+    /// the receiver sees a truncated frame, then a hangup.
+    pub cut_mid_frame: f64,
+    /// Chance one byte of a frame is flipped — the receiver sees a
+    /// checksum mismatch (or bad magic) and must treat the peer as
+    /// hostile.
+    pub corrupt_byte: f64,
+    /// Chance a frame's delivery stalls for [`ChaosPlan::stall_ms`].
+    pub stall: f64,
+    /// Stall length in milliseconds.
+    pub stall_ms: u64,
+    /// Chance a frame is delivered in 1–7 byte slices with pauses in
+    /// between — the slow-loris shape.
+    pub partial_write: f64,
+    /// Chance a frame is delivered twice — the receiver must
+    /// deduplicate.
+    pub duplicate: f64,
+}
+
+impl ChaosPlan {
+    /// A transparent relay: every fault probability zero. The rng is
+    /// still drawn in the same order, so quiet and faulty runs share a
+    /// schedule shape.
+    pub fn quiet(seed: u64) -> ChaosPlan {
+        ChaosPlan {
+            seed,
+            reset_on_accept: 0.0,
+            cut_mid_frame: 0.0,
+            corrupt_byte: 0.0,
+            stall: 0.0,
+            stall_ms: 0,
+            partial_write: 0.0,
+            duplicate: 0.0,
+        }
+    }
+
+    /// Base fault rates scaled by `intensity` (clamped to `[0, 1]`);
+    /// intensity 0 is [`ChaosPlan::quiet`], intensity 1 is a genuinely
+    /// bad day on the network.
+    pub fn at_intensity(seed: u64, intensity: f64) -> ChaosPlan {
+        let level = intensity.clamp(0.0, 1.0);
+        ChaosPlan {
+            seed,
+            reset_on_accept: 0.05 * level,
+            cut_mid_frame: 0.06 * level,
+            corrupt_byte: 0.04 * level,
+            stall: 0.10 * level,
+            stall_ms: 15,
+            partial_write: 0.25 * level,
+            duplicate: 0.05 * level,
+        }
+    }
+}
+
+/// Counters of injected faults, one per fault kind.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct FaultCounts {
+    /// Connections accepted (and relayed) by the proxy.
+    pub connections: u64,
+    /// Connections reset before any byte moved.
+    pub resets: u64,
+    /// Frames cut partway through.
+    pub cuts: u64,
+    /// Frames with a flipped byte.
+    pub corruptions: u64,
+    /// Frames whose delivery stalled.
+    pub stalls: u64,
+    /// Frames delivered in pathological slices.
+    pub partial_writes: u64,
+    /// Frames delivered twice.
+    pub duplicates: u64,
+}
+
+#[derive(Default)]
+struct FaultTally {
+    connections: AtomicU64,
+    resets: AtomicU64,
+    cuts: AtomicU64,
+    corruptions: AtomicU64,
+    stalls: AtomicU64,
+    partial_writes: AtomicU64,
+    duplicates: AtomicU64,
+}
+
+impl FaultTally {
+    fn snapshot(&self) -> FaultCounts {
+        FaultCounts {
+            connections: self.connections.load(Ordering::Relaxed),
+            resets: self.resets.load(Ordering::Relaxed),
+            cuts: self.cuts.load(Ordering::Relaxed),
+            corruptions: self.corruptions.load(Ordering::Relaxed),
+            stalls: self.stalls.load(Ordering::Relaxed),
+            partial_writes: self.partial_writes.load(Ordering::Relaxed),
+            duplicates: self.duplicates.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A running chaos proxy; see the module docs.
+pub struct ChaosProxy {
+    local_addr: SocketAddr,
+    upstream: Arc<Mutex<SocketAddr>>,
+    shutdown: Arc<AtomicBool>,
+    tally: Arc<FaultTally>,
+    acceptor: Option<JoinHandle<()>>,
+    pumps: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ChaosProxy {
+    /// Starts a proxy on an OS-assigned loopback port relaying to
+    /// `upstream` under `plan`.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure binding the listener.
+    pub fn start(upstream: SocketAddr, plan: ChaosPlan) -> std::io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let tally = Arc::new(FaultTally::default());
+        let pumps: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::default();
+        let upstream = Arc::new(Mutex::new(upstream));
+
+        let acceptor = {
+            let shutdown = Arc::clone(&shutdown);
+            let tally = Arc::clone(&tally);
+            let pumps = Arc::clone(&pumps);
+            let upstream = Arc::clone(&upstream);
+            std::thread::spawn(move || {
+                let mut conn_index: u64 = 0;
+                loop {
+                    let accepted = listener.accept();
+                    if shutdown.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let Ok((client, _)) = accepted else {
+                        continue;
+                    };
+                    let target = *upstream.lock().expect("upstream addr poisoned");
+                    let Ok(server) = TcpStream::connect(target) else {
+                        // Upstream gone (e.g. mid-kill in a crash drill):
+                        // drop the client; it will back off and retry.
+                        continue;
+                    };
+                    tally.connections.fetch_add(1, Ordering::Relaxed);
+                    let conn = conn_index;
+                    conn_index += 1;
+                    for (dir, from, to) in [
+                        (0u64, client.try_clone(), server.try_clone()),
+                        (1u64, Ok(server), Ok(client)),
+                    ] {
+                        let (Ok(from), Ok(to)) = (from, to) else {
+                            continue;
+                        };
+                        let rng = Rng::stream(plan.seed, conn * 2 + dir);
+                        let shutdown = Arc::clone(&shutdown);
+                        let tally = Arc::clone(&tally);
+                        let handle = std::thread::spawn(move || {
+                            pump(from, to, rng, plan, &tally, &shutdown);
+                        });
+                        pumps.lock().expect("pump registry poisoned").push(handle);
+                    }
+                }
+            })
+        };
+
+        Ok(ChaosProxy {
+            local_addr,
+            upstream,
+            shutdown,
+            tally,
+            acceptor: Some(acceptor),
+            pumps,
+        })
+    }
+
+    /// The proxy's listen address; point clients here.
+    pub fn addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Repoints new connections at a different upstream. Existing relays
+    /// are untouched; crash drills use this after restarting a server on
+    /// a fresh OS-assigned port while clients keep dialing the proxy.
+    pub fn retarget(&self, addr: SocketAddr) {
+        *self.upstream.lock().expect("upstream addr poisoned") = addr;
+    }
+
+    /// A snapshot of every fault injected so far.
+    pub fn faults(&self) -> FaultCounts {
+        self.tally.snapshot()
+    }
+
+    /// Stops accepting, tears down every relay, and joins all threads.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        // Unblock the acceptor with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        let handles: Vec<JoinHandle<()>> = {
+            let mut pumps = self.pumps.lock().expect("pump registry poisoned");
+            pumps.drain(..).collect()
+        };
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Reads exactly `buf.len()` bytes, polling so shutdown is honoured.
+/// Returns `false` on EOF, error, or shutdown.
+fn read_full(from: &mut TcpStream, buf: &mut [u8], shutdown: &AtomicBool) -> bool {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match from.read(&mut buf[filled..]) {
+            Ok(0) => return false,
+            Ok(n) => filled += n,
+            Err(err)
+                if err.kind() == std::io::ErrorKind::WouldBlock
+                    || err.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shutdown.load(Ordering::Relaxed) {
+                    return false;
+                }
+            }
+            Err(_) => return false,
+        }
+    }
+    true
+}
+
+/// Severs both halves of a relay; the partner pump sees EOF/error.
+fn sever(from: &TcpStream, to: &TcpStream) {
+    let _ = from.shutdown(Shutdown::Both);
+    let _ = to.shutdown(Shutdown::Both);
+}
+
+/// Relays `from` → `to` byte-blind until either side dies. Used when
+/// traffic stops parsing as frames.
+fn raw_relay(from: &mut TcpStream, to: &mut TcpStream, shutdown: &AtomicBool) {
+    let mut buf = [0u8; 4096];
+    loop {
+        match from.read(&mut buf) {
+            Ok(0) => return,
+            Ok(n) => {
+                if to.write_all(&buf[..n]).is_err() {
+                    return;
+                }
+            }
+            Err(err)
+                if err.kind() == std::io::ErrorKind::WouldBlock
+                    || err.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// One relay direction: reads whole frames and forwards them through
+/// the fault schedule. Draw order is fixed (reset, then per frame: cut,
+/// corrupt, stall, partial, duplicate) so a schedule is a pure function
+/// of the rng stream, whatever the probabilities are.
+fn pump(
+    mut from: TcpStream,
+    mut to: TcpStream,
+    mut rng: Rng,
+    plan: ChaosPlan,
+    tally: &FaultTally,
+    shutdown: &AtomicBool,
+) {
+    let _ = from.set_read_timeout(Some(POLL));
+    let _ = from.set_nodelay(true);
+    let _ = to.set_nodelay(true);
+
+    if rng.gen_bool(plan.reset_on_accept) {
+        tally.resets.fetch_add(1, Ordering::Relaxed);
+        sever(&from, &to);
+        return;
+    }
+
+    loop {
+        // Frame header: 4 magic + 4 length + 8 checksum.
+        let mut header = [0u8; 16];
+        if !read_full(&mut from, &mut header, shutdown) {
+            sever(&from, &to);
+            return;
+        }
+        let len = u32::from_le_bytes([header[4], header[5], header[6], header[7]]) as usize;
+        if header[..4] != MAGIC || len > MAX_PAYLOAD {
+            // Not our protocol (or deliberately hostile traffic from a
+            // fuzzer): stop interpreting, keep relaying.
+            if to.write_all(&header).is_err() {
+                sever(&from, &to);
+                return;
+            }
+            raw_relay(&mut from, &mut to, shutdown);
+            sever(&from, &to);
+            return;
+        }
+        let mut frame = vec![0u8; 16 + len];
+        frame[..16].copy_from_slice(&header);
+        if !read_full(&mut from, &mut frame[16..], shutdown) {
+            sever(&from, &to);
+            return;
+        }
+
+        if rng.gen_bool(plan.cut_mid_frame) {
+            tally.cuts.fetch_add(1, Ordering::Relaxed);
+            let cut_at = 1 + (rng.next_u64() as usize) % frame.len().max(2).saturating_sub(1);
+            let _ = to.write_all(&frame[..cut_at]);
+            sever(&from, &to);
+            return;
+        }
+        if rng.gen_bool(plan.corrupt_byte) {
+            tally.corruptions.fetch_add(1, Ordering::Relaxed);
+            let at = (rng.next_u64() as usize) % frame.len();
+            frame[at] ^= 1 << (rng.next_u64() % 8);
+        }
+        if rng.gen_bool(plan.stall) {
+            tally.stalls.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(Duration::from_millis(plan.stall_ms));
+        }
+        let delivered = if rng.gen_bool(plan.partial_write) {
+            tally.partial_writes.fetch_add(1, Ordering::Relaxed);
+            let mut rest: &[u8] = &frame;
+            let mut ok = true;
+            while !rest.is_empty() {
+                let slice = (1 + (rng.next_u64() as usize) % 7).min(rest.len());
+                if to.write_all(&rest[..slice]).is_err() {
+                    ok = false;
+                    break;
+                }
+                let _ = to.flush();
+                rest = &rest[slice..];
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            ok
+        } else {
+            to.write_all(&frame).is_ok()
+        };
+        if !delivered {
+            sever(&from, &to);
+            return;
+        }
+        if rng.gen_bool(plan.duplicate) {
+            tally.duplicates.fetch_add(1, Ordering::Relaxed);
+            if to.write_all(&frame).is_err() {
+                sever(&from, &to);
+                return;
+            }
+        }
+    }
+}

@@ -20,7 +20,8 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 
 use nightvision::campaign::{Campaign, Trial};
 use nightvision::checkpoint::fnv1a64;
@@ -128,6 +129,11 @@ pub enum JobError {
         /// The abort message.
         detail: String,
     },
+    /// The job's cancellation flag was raised: a wire-level `Cancel` (or
+    /// a drain deadline) stopped the job. Completed trials stay in the
+    /// checkpoint, so an un-cancelled resubmission picks up where the
+    /// cancel landed.
+    Cancelled,
 }
 
 impl std::fmt::Display for JobError {
@@ -135,6 +141,7 @@ impl std::fmt::Display for JobError {
         match self {
             JobError::Checkpoint(err) => write!(f, "checkpoint: {err}"),
             JobError::Aborted { detail } => write!(f, "campaign aborted: {detail}"),
+            JobError::Cancelled => write!(f, "job cancelled"),
         }
     }
 }
@@ -156,9 +163,12 @@ fn chain() -> Vec<PwSpec> {
 /// One clean NV-Core overlap measurement driven by the trial's stream;
 /// returns a compact signature of the verdicts plus the geometry that
 /// produced them, so resume identity is checkable bit-for-bit.
-fn nv_core_trial(trial: &mut Trial) -> Result<u64, AttackError> {
+fn nv_core_trial(trial: &mut Trial, cancel: Option<&Arc<AtomicBool>>) -> Result<u64, AttackError> {
     let mut core = Core::new(UarchConfig::default());
     trial.arm(&mut core);
+    if let Some(flag) = cancel {
+        core.set_cancel_flag(Arc::clone(flag));
+    }
     let below = trial.rng.gen_range(0..4u64) * 0x40;
     let nops = 8 + trial.rng.gen_range(0..96u64) as usize;
     let entry = MON - below;
@@ -183,13 +193,16 @@ fn nv_core_trial(trial: &mut Trial) -> Result<u64, AttackError> {
 
 /// One NV-S full-trace extraction of a GCD enclave with operands drawn
 /// from the trial stream; returns the FNV digest of the extracted PCs.
-fn nv_s_trial(trial: &mut Trial) -> Result<u64, AttackError> {
+fn nv_s_trial(trial: &mut Trial, cancel: Option<&Arc<AtomicBool>>) -> Result<u64, AttackError> {
     let a = trial.rng.gen_range(1..=60u64);
     let b = trial.rng.gen_range(1..=60u64);
     let victim = GcdVictim::build(a, b, &VictimConfig::default()).expect("gcd victim assembles");
     let mut enclave = Enclave::new(victim.program().clone());
     let mut core = Core::new(UarchConfig::default());
     trial.arm(&mut core);
+    if let Some(flag) = cancel {
+        core.set_cancel_flag(Arc::clone(flag));
+    }
     let extracted =
         NvSupervisor::new(SupervisorConfig::default()).extract_trace(&mut enclave, &mut core)?;
     let mut bytes = Vec::new();
@@ -201,19 +214,24 @@ fn nv_s_trial(trial: &mut Trial) -> Result<u64, AttackError> {
 
 /// One attempt of one trial per the spec: an injected flake first (drawn
 /// from the attempt's own stream), then the real workload.
-fn run_attempt(spec: &JobSpec, trial: &mut Trial) -> Result<u64, AttackError> {
+fn run_attempt(
+    spec: &JobSpec,
+    trial: &mut Trial,
+    cancel: Option<&Arc<AtomicBool>>,
+) -> Result<u64, AttackError> {
     if spec.flake_ppm > 0 && trial.rng.gen_range(0..1_000_000u64) < u64::from(spec.flake_ppm) {
         return Err(AttackError::NotCalibrated);
     }
     match spec.kind {
-        JobKind::NvCore => nv_core_trial(trial),
-        JobKind::NvS => nv_s_trial(trial),
+        JobKind::NvCore => nv_core_trial(trial, cancel),
+        JobKind::NvS => nv_s_trial(trial, cancel),
     }
 }
 
 fn outcome_tag<T>(outcome: &TrialOutcome<T>) -> &'static str {
     match outcome {
         TrialOutcome::Completed(_) => "completed",
+        TrialOutcome::Failed(AttackError::Cancelled) => "cancelled",
         TrialOutcome::Failed(_) => "failed",
         TrialOutcome::Panicked { .. } => "panicked",
         TrialOutcome::DeadlineExceeded { .. } => "deadline",
@@ -250,17 +268,26 @@ fn outcome_digest(outcomes: &[TrialOutcome<u64>]) -> u64 {
 /// `run_job` again after a kill (same spec, same path) skips completed
 /// trials and converges to the identical report.
 ///
+/// `cancel`, when present, is polled at pass boundaries and attached to
+/// every trial's core, so a raised flag stops the job both between
+/// trials and *inside* one (at the attack layers' cooperative watchdog
+/// checks). Streamed updates carry `seq: 0`; the server's stream buffer
+/// assigns real sequence numbers at publish time.
+///
 /// # Errors
 ///
 /// [`JobError::Checkpoint`] if the checkpoint cannot be opened (or was
 /// written by a different spec), [`JobError::Aborted`] if the campaign
-/// engine aborted.
+/// engine aborted, [`JobError::Cancelled`] if the cancellation flag was
+/// observed.
 pub fn run_job(
     job: u64,
     spec: &JobSpec,
     checkpoint_path: &Path,
+    cancel: Option<&Arc<AtomicBool>>,
     on_update: impl Fn(TrialUpdate) + Sync,
 ) -> Result<JobReport, JobError> {
+    let cancelled = || cancel.is_some_and(|flag| flag.load(Ordering::Relaxed));
     let mut base = Campaign::new(spec.trials)
         .master_seed(spec.master_seed)
         .threads(spec.threads.max(1));
@@ -278,6 +305,9 @@ pub fn run_job(
     let mut resumed_trials = 0u64;
 
     let outcomes = loop {
+        if cancelled() {
+            return Err(JobError::Cancelled);
+        }
         passes += 1;
         let checkpoint = CampaignCheckpoint::open(checkpoint_path, key)?;
         if passes == 1 {
@@ -287,10 +317,11 @@ pub fn run_job(
         let pass = catch_unwind(AssertUnwindSafe(|| {
             campaign.resume_observed(64, &checkpoint, encode, decode, |mut trial, _rec| {
                 let index = trial.index;
-                let value = run_attempt(spec, &mut trial)?;
+                let value = run_attempt(spec, &mut trial, cancel)?;
                 streamed.lock().expect("streamed flags poisoned")[index] = true;
                 on_update(TrialUpdate {
                     job,
+                    seq: 0,
                     index: index as u64,
                     outcome: "completed".to_string(),
                     value,
@@ -322,6 +353,7 @@ pub fn run_job(
                         flags[index] = true;
                         on_update(TrialUpdate {
                             job,
+                            seq: 0,
                             index: index as u64,
                             outcome: "completed".to_string(),
                             value: *value,
@@ -332,6 +364,9 @@ pub fn run_job(
             }
         }
 
+        if cancelled() {
+            return Err(JobError::Cancelled);
+        }
         let incomplete = outcomes.iter().filter(|o| !o.is_completed()).count();
         if incomplete == 0 || budget >= spec.retry_budget {
             break outcomes;
@@ -348,6 +383,7 @@ pub fn run_job(
         if !outcome.is_completed() {
             on_update(TrialUpdate {
                 job,
+                seq: 0,
                 index: index as u64,
                 outcome: outcome_tag(outcome).to_string(),
                 value: 0,
@@ -387,7 +423,7 @@ mod tests {
             let mut spec = JobSpec::nv_core(6, 0x5eed);
             spec.threads = threads;
             let path = scratch(&format!("core_t{threads}"));
-            let report = run_job(1, &spec, &path, |_| {}).unwrap();
+            let report = run_job(1, &spec, &path, None, |_| {}).unwrap();
             assert_eq!(report.completed, 6);
             assert_eq!(report.quarantined, 0);
             assert_eq!(report.passes, 1);
@@ -405,7 +441,7 @@ mod tests {
         spec.flake_ppm = 600_000;
         spec.retry_budget = 15;
         let path = scratch("flaky");
-        let report = run_job(2, &spec, &path, |_| {}).unwrap();
+        let report = run_job(2, &spec, &path, None, |_| {}).unwrap();
         assert_eq!(
             report.completed, 8,
             "600k ppm flakes must heal within a budget of 15"
@@ -416,7 +452,7 @@ mod tests {
         // The healed digest equals a generous-single-pass digest: a trial
         // always keeps its first succeeding attempt's value.
         let path2 = scratch("flaky_onepass");
-        let baseline = run_job(3, &spec, &path2, |_| {}).unwrap();
+        let baseline = run_job(3, &spec, &path2, None, |_| {}).unwrap();
         assert_eq!(report.digest, baseline.digest);
         let _ = std::fs::remove_file(&path2);
     }
@@ -425,7 +461,7 @@ mod tests {
     fn killed_job_resumes_byte_identical() {
         let spec = JobSpec::nv_core(6, 0xdead);
         let clean_path = scratch("resume_clean");
-        let baseline = run_job(4, &spec, &clean_path, |_| {}).unwrap();
+        let baseline = run_job(4, &spec, &clean_path, None, |_| {}).unwrap();
         let _ = std::fs::remove_file(&clean_path);
 
         // Simulated kill: run half the trials directly into the job's
@@ -444,13 +480,13 @@ mod tests {
                     rng: nv_rand::Rng::stream(spec.master_seed, index as u64),
                     deadline: Some(spec.deadline_steps),
                 };
-                let value = nv_core_trial(&mut trial).unwrap();
+                let value = nv_core_trial(&mut trial, None).unwrap();
                 ckpt.append(index, &encode(&value)).unwrap();
             }
         }
         let mut resumed_updates = 0u64;
         let updates = Mutex::new(Vec::new());
-        let report = run_job(4, &spec, &path, |u| {
+        let report = run_job(4, &spec, &path, None, |u| {
             updates.lock().unwrap().push(u);
         })
         .unwrap();
@@ -466,12 +502,66 @@ mod tests {
     }
 
     #[test]
+    fn pre_raised_cancel_flag_stops_the_job_before_any_trial() {
+        let spec = JobSpec::nv_core(6, 0xca);
+        let path = scratch("cancel_pre");
+        let flag = Arc::new(AtomicBool::new(true));
+        let ran = Mutex::new(0u64);
+        let result = run_job(6, &spec, &path, Some(&flag), |_| {
+            *ran.lock().unwrap() += 1;
+        });
+        assert!(matches!(result, Err(JobError::Cancelled)));
+        assert_eq!(*ran.lock().unwrap(), 0, "no update may stream");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn cancelled_job_keeps_its_checkpoint_and_resumes_clean() {
+        // Cancel after the first streamed trial; the completed prefix must
+        // survive in the checkpoint and an un-cancelled rerun converges to
+        // the clean digest.
+        let spec = JobSpec::nv_core(5, 0xcab);
+        let clean_path = scratch("cancel_clean");
+        let baseline = run_job(7, &spec, &clean_path, None, |_| {}).unwrap();
+        let _ = std::fs::remove_file(&clean_path);
+
+        let path = scratch("cancel_mid");
+        let flag = Arc::new(AtomicBool::new(false));
+        let raiser = Arc::clone(&flag);
+        let result = run_job(7, &spec, &path, Some(&flag), move |_| {
+            raiser.store(true, Ordering::Relaxed);
+        });
+        assert!(matches!(result, Err(JobError::Cancelled)));
+        let report = run_job(7, &spec, &path, None, |_| {}).unwrap();
+        assert_eq!(report.digest, baseline.digest);
+        assert!(
+            report.resumed_trials >= 1,
+            "the pre-cancel completion must have been checkpointed"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mid_trial_cancellation_surfaces_as_cancelled_attack_error() {
+        // Drive one trial directly with a raised flag: the cooperative
+        // watchdog check inside the attack layers must observe it.
+        let mut trial = Trial {
+            index: 0,
+            rng: nv_rand::Rng::stream(0xf1a9, 0),
+            deadline: Some(20_000),
+        };
+        let flag = Arc::new(AtomicBool::new(true));
+        let err = nv_core_trial(&mut trial, Some(&flag)).unwrap_err();
+        assert!(matches!(err, AttackError::Cancelled), "{err}");
+    }
+
+    #[test]
     fn nv_s_job_digest_is_stable() {
         let spec = JobSpec::nv_s(0x6cd);
         let path_a = scratch("nvs_a");
         let path_b = scratch("nvs_b");
-        let a = run_job(5, &spec, &path_a, |_| {}).unwrap();
-        let b = run_job(5, &spec, &path_b, |_| {}).unwrap();
+        let a = run_job(5, &spec, &path_a, None, |_| {}).unwrap();
+        let b = run_job(5, &spec, &path_b, None, |_| {}).unwrap();
         assert_eq!(a.completed, 1);
         assert_eq!(a.digest, b.digest);
         let _ = std::fs::remove_file(&path_a);

@@ -4,19 +4,27 @@
 //! An append-only log of framed records (the same length- and
 //! FNV-checksummed line format as [`nightvision::checkpoint`]):
 //!
-//! * `accept` — job id, tenant, full [`JobSpec`], written at admission
-//!   *before* the `Accepted` response leaves the server;
+//! * `accept` — job id, tenant, full [`JobSpec`] and the client's
+//!   idempotency key, written at admission *before* the `Accepted`
+//!   response leaves the server;
 //! * `done` — job id and outcome digest, written when the job's report
-//!   is final.
+//!   is final;
+//! * `cancel` — job id, written when a wire-level cancellation lands, so
+//!   a cancelled job is never resurrected by a replay;
+//! * `boot` — written once per server start. The count of boot records
+//!   is the server's *epoch*: a client resuming a stream compares epochs
+//!   to learn that sequence numbers restarted.
 //!
-//! A restarted server replays the journal: `accept` without `done` is an
-//! in-flight job to re-queue (its per-job checkpoint carries whatever
-//! trials already completed); `done` records serve status queries for
-//! jobs that finished in a previous life. A torn tail — the crash
+//! A restarted server replays the journal: `accept` without `done` or
+//! `cancel` is an in-flight job to re-queue (its per-job checkpoint
+//! carries whatever trials already completed); `done` records serve
+//! status queries for jobs that finished in a previous life, and the
+//! idempotency keys of accept records are re-indexed so duplicate
+//! submissions stay duplicates across restarts. A torn tail — the crash
 //! landed mid-append — is dropped, counted, and physically truncated,
 //! exactly like a torn campaign checkpoint.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
@@ -36,6 +44,8 @@ pub struct PendingJob {
     pub tenant: String,
     /// The job spec.
     pub spec: JobSpec,
+    /// The client's idempotency key (0 = none).
+    pub idem: u64,
 }
 
 /// What replaying the journal recovered.
@@ -47,6 +57,15 @@ pub struct JournalState {
     pub done: BTreeMap<u64, u64>,
     /// The next job id a fresh admission should use.
     pub next_job: u64,
+    /// Jobs cancelled in any life (and therefore never re-queued).
+    pub cancelled: BTreeSet<u64>,
+    /// Idempotency index recovered from accept records: `(tenant, key)`
+    /// to job id, for non-zero keys only.
+    pub idem: BTreeMap<(String, u64), u64>,
+    /// Boot records replayed — the epoch of the life that wrote the last
+    /// one. The opening server appends its own boot record *after*
+    /// replay, so its epoch is `boots + 1`.
+    pub boots: u64,
     /// Torn/corrupt trailing records dropped (and truncated) at replay.
     pub dropped_records: usize,
     /// Bytes those records occupied.
@@ -95,12 +114,30 @@ impl JobJournal {
             match entry {
                 Record::Accept(pending) => {
                     state.next_job = state.next_job.max(pending.job + 1);
+                    if pending.idem != 0 {
+                        state
+                            .idem
+                            .insert((pending.tenant.clone(), pending.idem), pending.job);
+                    }
                     accepted.insert(pending.job, pending);
                 }
                 Record::Done { job, digest } => {
                     state.next_job = state.next_job.max(job + 1);
                     accepted.remove(&job);
+                    state.cancelled.remove(&job);
                     state.done.insert(job, digest);
+                }
+                Record::Cancel { job } => {
+                    state.next_job = state.next_job.max(job + 1);
+                    // A cancel after done is a no-op (the cancel lost the
+                    // race); otherwise the job must not be re-queued.
+                    if !state.done.contains_key(&job) {
+                        accepted.remove(&job);
+                        state.cancelled.insert(job);
+                    }
+                }
+                Record::Boot => {
+                    state.boots += 1;
                 }
             }
             retained_bytes += line.len() + 1;
@@ -137,9 +174,15 @@ impl JobJournal {
     /// # Errors
     ///
     /// I/O failure; the caller must fail the admission, not ignore it.
-    pub fn record_accept(&self, job: u64, tenant: &str, spec: &JobSpec) -> std::io::Result<()> {
+    pub fn record_accept(
+        &self,
+        job: u64,
+        tenant: &str,
+        spec: &JobSpec,
+        idem: u64,
+    ) -> std::io::Result<()> {
         let body = format!(
-            "{{\"rec\": \"accept\", \"job\": {job}, \"tenant\": \"{}\", {}}}",
+            "{{\"rec\": \"accept\", \"job\": {job}, \"tenant\": \"{}\", \"idem\": {idem}, {}}}",
             escape(tenant),
             spec.encode_fields()
         );
@@ -157,6 +200,27 @@ impl JobJournal {
         ))
     }
 
+    /// Records a wire-level cancellation, so a replay never resurrects
+    /// the job.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure.
+    pub fn record_cancel(&self, job: u64) -> std::io::Result<()> {
+        self.append(&format!("{{\"rec\": \"cancel\", \"job\": {job}}}"))
+    }
+
+    /// Records a server start. Called once by the server *after* replay —
+    /// never implicitly by [`JobJournal::open`], so read-only replays (and
+    /// torn-tail repairs) leave the file byte-identical.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure.
+    pub fn record_boot(&self) -> std::io::Result<()> {
+        self.append("{\"rec\": \"boot\"}")
+    }
+
     fn append(&self, body: &str) -> std::io::Result<()> {
         let mut writer = self.writer.lock().expect("journal writer poisoned");
         writer.write_all(frame(body).as_bytes())?;
@@ -167,6 +231,8 @@ impl JobJournal {
 enum Record {
     Accept(PendingJob),
     Done { job: u64, digest: u64 },
+    Cancel { job: u64 },
+    Boot,
 }
 
 fn parse_record(body: &str) -> Option<Record> {
@@ -175,11 +241,17 @@ fn parse_record(body: &str) -> Option<Record> {
             job: field_u64(body, "job")?,
             tenant: field_str(body, "tenant")?,
             spec: JobSpec::decode_fields(body).ok()?,
+            // Absent on records written before idempotency keys existed.
+            idem: field_u64(body, "idem").unwrap_or(0),
         })),
         "done" => Some(Record::Done {
             job: field_u64(body, "job")?,
             digest: field_u64(body, "digest")?,
         }),
+        "cancel" => Some(Record::Cancel {
+            job: field_u64(body, "job")?,
+        }),
+        "boot" => Some(Record::Boot),
         _ => None,
     }
 }
@@ -220,9 +292,9 @@ mod tests {
                     ..JournalState::default()
                 }
             );
-            journal.record_accept(1, "acme", &spec(1)).unwrap();
-            journal.record_accept(2, "acme", &spec(2)).unwrap();
-            journal.record_accept(3, "globex", &spec(3)).unwrap();
+            journal.record_accept(1, "acme", &spec(1), 0).unwrap();
+            journal.record_accept(2, "acme", &spec(2), 0).unwrap();
+            journal.record_accept(3, "globex", &spec(3), 0).unwrap();
             journal.record_done(2, 0xd16e57).unwrap();
         }
         let (_journal, state) = JobJournal::open(&path).unwrap();
@@ -237,11 +309,64 @@ mod tests {
     }
 
     #[test]
+    fn cancel_records_keep_jobs_out_of_pending() {
+        let path = scratch("cancel");
+        {
+            let (journal, _) = JobJournal::open(&path).unwrap();
+            journal.record_accept(1, "acme", &spec(1), 0).unwrap();
+            journal.record_accept(2, "acme", &spec(2), 0).unwrap();
+            journal.record_cancel(1).unwrap();
+            // Cancel that lost the race to done: done must win.
+            journal.record_accept(3, "acme", &spec(3), 0).unwrap();
+            journal.record_done(3, 77).unwrap();
+            journal.record_cancel(3).unwrap();
+        }
+        let (_journal, state) = JobJournal::open(&path).unwrap();
+        let pending: Vec<u64> = state.pending.iter().map(|p| p.job).collect();
+        assert_eq!(pending, vec![2], "cancelled jobs must not resurrect");
+        assert!(state.cancelled.contains(&1));
+        assert!(
+            !state.cancelled.contains(&3),
+            "a done job is done, not cancelled"
+        );
+        assert_eq!(state.done.get(&3), Some(&77));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn boot_records_count_epochs_and_idem_keys_reindex() {
+        let path = scratch("boot");
+        {
+            let (journal, state) = JobJournal::open(&path).unwrap();
+            assert_eq!(state.boots, 0);
+            journal.record_boot().unwrap();
+            journal.record_accept(1, "acme", &spec(1), 0xaaaa).unwrap();
+            journal
+                .record_accept(2, "globex", &spec(2), 0xaaaa)
+                .unwrap();
+            journal.record_accept(3, "acme", &spec(3), 0).unwrap();
+        }
+        {
+            let (journal, state) = JobJournal::open(&path).unwrap();
+            assert_eq!(state.boots, 1);
+            journal.record_boot().unwrap();
+        }
+        let (_journal, state) = JobJournal::open(&path).unwrap();
+        assert_eq!(state.boots, 2);
+        // Same key under different tenants indexes two distinct jobs;
+        // key 0 is never indexed.
+        assert_eq!(state.idem.get(&("acme".to_string(), 0xaaaa)), Some(&1));
+        assert_eq!(state.idem.get(&("globex".to_string(), 0xaaaa)), Some(&2));
+        assert_eq!(state.idem.len(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn torn_tail_is_dropped_counted_and_truncated() {
         let path = scratch("torn");
         {
             let (journal, _) = JobJournal::open(&path).unwrap();
-            journal.record_accept(1, "acme", &spec(1)).unwrap();
+            journal.record_accept(1, "acme", &spec(1), 0).unwrap();
         }
         let intact_len = std::fs::metadata(&path).unwrap().len();
         {

@@ -20,15 +20,25 @@
 //!   exponentially growing budget, deterministically (a trial's value is
 //!   its first-succeeding attempt's, however the passes slice the work);
 //! * **hostility** — every malformed frame maps to a typed
-//!   [`wire::WireError`]; the decoders never panic on wire input.
+//!   [`wire::WireError`]; the decoders never panic on wire input;
+//! * **chaos tolerance** — a seeded, replayable chaos proxy ([`chaos`])
+//!   injects resets, mid-frame cuts, corruption, stalls and duplicate
+//!   delivery between client and server; idempotency-keyed submission
+//!   and sequence-numbered stream resume ([`client::submit_resilient`])
+//!   reassemble byte-identical results through all of it;
+//! * **cancellation** — a wire-level `cancel` reaches inside a running
+//!   trial through the core's cooperative watchdog check and comes back
+//!   as a typed terminal state, never a dangling job.
 //!
 //! Layering: [`wire`] (framing) → [`proto`] (messages) → [`job`] (one
 //! job through the campaign engine) → [`journal`] (crash journal) →
-//! [`server`] / [`client`].
+//! [`server`] / [`client`] → [`chaos`] (fault-injecting relay for tests
+//! and drills).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod client;
 pub mod job;
 pub mod journal;
@@ -36,7 +46,10 @@ pub mod proto;
 pub mod server;
 pub mod wire;
 
-pub use client::{Client, ClientError, FinishedJob, Submission};
+pub use chaos::{ChaosPlan, ChaosProxy, FaultCounts};
+pub use client::{
+    submit_resilient, Client, ClientError, FinishedJob, ResilientOutcome, RetryPolicy, Submission,
+};
 pub use job::{JobError, JobKind, JobSpec};
 pub use journal::{JobJournal, JournalState, PendingJob};
 pub use proto::{JobReport, RejectReason, Request, Response, ServerStats, TrialUpdate};

@@ -126,6 +126,11 @@ pub enum Request {
         tenant: String,
         /// What to run.
         spec: JobSpec,
+        /// Client-chosen idempotency key; `0` means none. A re-submission
+        /// with the same tenant and a non-zero key returns the original
+        /// job instead of admitting a duplicate, so a client that lost the
+        /// `Accepted` reply to a dropped connection can retry blind.
+        idem: u64,
     },
     /// Query one job's state (e.g. a job resumed after a crash, whose
     /// submitting connection is long gone).
@@ -137,14 +142,38 @@ pub enum Request {
     Stats,
     /// Stop admitting work; finish what is queued.
     Drain,
+    /// Liveness heartbeat; the server answers [`Response::Pong`] with the
+    /// same nonce. Keeps the connection inside the server's idle deadline
+    /// and lets a client distinguish a slow job from a dead peer.
+    Ping {
+        /// Echo token, returned verbatim in the pong.
+        nonce: u64,
+    },
+    /// Cancel a queued or running job. Queued jobs are dropped; running
+    /// jobs have their core's cancellation flag raised and terminate at
+    /// the next cooperative watchdog check with a typed `cancelled`
+    /// outcome.
+    Cancel {
+        /// The job id.
+        job: u64,
+    },
+    /// Re-attach to a job's outcome stream after a dropped connection.
+    /// The server answers [`Response::Resuming`], replays every buffered
+    /// update with `seq > last_seen_seq`, then continues live.
+    ResumeStream {
+        /// The job id.
+        job: u64,
+        /// Highest sequence number the client already holds (0 = none).
+        last_seen_seq: u64,
+    },
 }
 
 impl Request {
     /// Renders the request as a frame payload.
     pub fn encode(&self) -> String {
         match self {
-            Request::Submit { tenant, spec } => format!(
-                "{{\"op\": \"submit\", \"tenant\": \"{}\", {}}}",
+            Request::Submit { tenant, spec, idem } => format!(
+                "{{\"op\": \"submit\", \"tenant\": \"{}\", \"idem\": {idem}, {}}}",
                 escape(tenant),
                 spec.encode_fields()
             ),
@@ -153,6 +182,15 @@ impl Request {
             }
             Request::Stats => "{\"op\": \"stats\"}".to_string(),
             Request::Drain => "{\"op\": \"drain\"}".to_string(),
+            Request::Ping { nonce } => {
+                format!("{{\"op\": \"ping\", \"nonce\": {nonce}}}")
+            }
+            Request::Cancel { job } => {
+                format!("{{\"op\": \"cancel\", \"job\": {job}}}")
+            }
+            Request::ResumeStream { job, last_seen_seq } => format!(
+                "{{\"op\": \"resume_stream\", \"job\": {job}, \"last_seen_seq\": {last_seen_seq}}}"
+            ),
         }
     }
 
@@ -168,12 +206,26 @@ impl Request {
             "submit" => Ok(Request::Submit {
                 tenant: field_str(payload, "tenant").ok_or_else(|| missing("tenant"))?,
                 spec: JobSpec::decode_fields(payload)?,
+                // Absent on frames (and journal accept records) written
+                // before idempotency keys existed; 0 means none.
+                idem: field_u64(payload, "idem").unwrap_or(0),
             }),
             "status" => Ok(Request::Status {
                 job: field_u64(payload, "job").ok_or_else(|| missing("job"))?,
             }),
             "stats" => Ok(Request::Stats),
             "drain" => Ok(Request::Drain),
+            "ping" => Ok(Request::Ping {
+                nonce: field_u64(payload, "nonce").ok_or_else(|| missing("nonce"))?,
+            }),
+            "cancel" => Ok(Request::Cancel {
+                job: field_u64(payload, "job").ok_or_else(|| missing("job"))?,
+            }),
+            "resume_stream" => Ok(Request::ResumeStream {
+                job: field_u64(payload, "job").ok_or_else(|| missing("job"))?,
+                last_seen_seq: field_u64(payload, "last_seen_seq")
+                    .ok_or_else(|| missing("last_seen_seq"))?,
+            }),
             other => Err(WireError::BadMessage {
                 detail: format!("unknown op \"{other}\""),
             }),
@@ -186,6 +238,11 @@ impl Request {
 pub struct TrialUpdate {
     /// The job the trial belongs to.
     pub job: u64,
+    /// Per-job monotone sequence number (1-based) assigned by the server
+    /// when the update is buffered. A resuming client hands its highest
+    /// seen value back in [`Request::ResumeStream`]; updates at or below
+    /// it are not replayed.
+    pub seq: u64,
     /// The trial index within the job.
     pub index: u64,
     /// Outcome kind: `completed`, `failed`, `panicked`, `deadline`.
@@ -249,6 +306,11 @@ pub enum Response {
     Accepted {
         /// The assigned job id.
         job: u64,
+        /// The server's boot epoch (count of journal boots). A resuming
+        /// client that sees a different epoch knows the server restarted:
+        /// sequence numbers restarted with it, so the client resets its
+        /// cursor and deduplicates replays by trial index instead.
+        epoch: u64,
     },
     /// The job was refused, with a typed reason.
     Rejected {
@@ -275,6 +337,32 @@ pub enum Response {
         /// Jobs still queued or running.
         pending: u64,
     },
+    /// Answer to [`Request::Ping`].
+    Pong {
+        /// The nonce from the ping, echoed back.
+        nonce: u64,
+    },
+    /// Answer to [`Request::Cancel`], and the terminal message of a
+    /// stream whose job was cancelled.
+    Cancelled {
+        /// The job id.
+        job: u64,
+        /// Where the cancel landed: `queued` (dropped before running),
+        /// `running` (flag raised, trial will observe it), `done` (too
+        /// late, the job already finished) or `unknown`.
+        state: String,
+    },
+    /// Answer to [`Request::ResumeStream`]: replayed updates follow.
+    Resuming {
+        /// The job id.
+        job: u64,
+        /// The server's boot epoch (see [`Response::Accepted`]).
+        epoch: u64,
+        /// Oldest sequence number still buffered (0 = nothing buffered
+        /// yet). If the client's cursor is older than `oldest - 1`, some
+        /// updates have aged out of the ring and the replay has a gap.
+        oldest: u64,
+    },
     /// The server rejected the *message* (protocol violation).
     Error {
         /// What went wrong.
@@ -286,8 +374,8 @@ impl Response {
     /// Renders the response as a frame payload.
     pub fn encode(&self) -> String {
         match self {
-            Response::Accepted { job } => {
-                format!("{{\"re\": \"accepted\", \"job\": {job}}}")
+            Response::Accepted { job, epoch } => {
+                format!("{{\"re\": \"accepted\", \"job\": {job}, \"epoch\": {epoch}}}")
             }
             Response::Rejected { reason } => {
                 let (a, b) = match reason {
@@ -302,9 +390,10 @@ impl Response {
                 )
             }
             Response::Trial(u) => format!(
-                "{{\"re\": \"trial\", \"job\": {}, \"index\": {}, \"outcome\": \"{}\", \
-                 \"value\": {}, \"resumed\": {}}}",
+                "{{\"re\": \"trial\", \"job\": {}, \"seq\": {}, \"index\": {}, \
+                 \"outcome\": \"{}\", \"value\": {}, \"resumed\": {}}}",
                 u.job,
+                u.seq,
                 u.index,
                 escape(&u.outcome),
                 u.value,
@@ -344,6 +433,17 @@ impl Response {
             Response::Draining { pending } => {
                 format!("{{\"re\": \"draining\", \"pending\": {pending}}}")
             }
+            Response::Pong { nonce } => {
+                format!("{{\"re\": \"pong\", \"nonce\": {nonce}}}")
+            }
+            Response::Cancelled { job, state } => format!(
+                "{{\"re\": \"cancelled\", \"job\": {job}, \"state\": \"{}\"}}",
+                escape(state)
+            ),
+            Response::Resuming { job, epoch, oldest } => format!(
+                "{{\"re\": \"resuming\", \"job\": {job}, \"epoch\": {epoch}, \
+                 \"oldest\": {oldest}}}"
+            ),
             Response::Error { detail } => {
                 format!("{{\"re\": \"error\", \"detail\": \"{}\"}}", escape(detail))
             }
@@ -360,7 +460,10 @@ impl Response {
         let re = field_str(payload, "re").ok_or_else(|| missing("re"))?;
         let job = || field_u64(payload, "job").ok_or_else(|| missing("job"));
         match re.as_str() {
-            "accepted" => Ok(Response::Accepted { job: job()? }),
+            "accepted" => Ok(Response::Accepted {
+                job: job()?,
+                epoch: field_u64(payload, "epoch").ok_or_else(|| missing("epoch"))?,
+            }),
             "rejected" => {
                 let tag = field_str(payload, "reason").ok_or_else(|| missing("reason"))?;
                 let a = field_u64(payload, "observed").ok_or_else(|| missing("observed"))?;
@@ -382,6 +485,7 @@ impl Response {
             }
             "trial" => Ok(Response::Trial(TrialUpdate {
                 job: job()?,
+                seq: field_u64(payload, "seq").ok_or_else(|| missing("seq"))?,
                 index: field_u64(payload, "index").ok_or_else(|| missing("index"))?,
                 outcome: field_str(payload, "outcome").ok_or_else(|| missing("outcome"))?,
                 value: field_u64(payload, "value").ok_or_else(|| missing("value"))?,
@@ -419,6 +523,18 @@ impl Response {
             })),
             "draining" => Ok(Response::Draining {
                 pending: field_u64(payload, "pending").ok_or_else(|| missing("pending"))?,
+            }),
+            "pong" => Ok(Response::Pong {
+                nonce: field_u64(payload, "nonce").ok_or_else(|| missing("nonce"))?,
+            }),
+            "cancelled" => Ok(Response::Cancelled {
+                job: job()?,
+                state: field_str(payload, "state").ok_or_else(|| missing("state"))?,
+            }),
+            "resuming" => Ok(Response::Resuming {
+                job: job()?,
+                epoch: field_u64(payload, "epoch").ok_or_else(|| missing("epoch"))?,
+                oldest: field_u64(payload, "oldest").ok_or_else(|| missing("oldest"))?,
             }),
             "error" => Ok(Response::Error {
                 detail: field_str(payload, "detail").ok_or_else(|| missing("detail"))?,
@@ -508,10 +624,17 @@ mod tests {
             Request::Submit {
                 tenant: "acme \"quoted\", \"trials\": 9".to_string(),
                 spec: spec(),
+                idem: 0x1de4,
             },
             Request::Status { job: 7 },
             Request::Stats,
             Request::Drain,
+            Request::Ping { nonce: 0xabcd },
+            Request::Cancel { job: 11 },
+            Request::ResumeStream {
+                job: 11,
+                last_seen_seq: 37,
+            },
         ] {
             assert_eq!(Request::decode(&req.encode()).unwrap(), req);
         }
@@ -524,9 +647,13 @@ mod tests {
         let req = Request::Submit {
             tenant: "evil\", \"trials\": 1".to_string(),
             spec: spec(),
+            idem: 0,
         };
         let decoded = Request::decode(&req.encode()).unwrap();
-        let Request::Submit { tenant, spec: s } = decoded else {
+        let Request::Submit {
+            tenant, spec: s, ..
+        } = decoded
+        else {
             panic!("submit expected");
         };
         assert_eq!(tenant, "evil\", \"trials\": 1");
@@ -536,7 +663,7 @@ mod tests {
     #[test]
     fn responses_roundtrip() {
         for resp in [
-            Response::Accepted { job: 3 },
+            Response::Accepted { job: 3, epoch: 2 },
             Response::Rejected {
                 reason: RejectReason::QueueFull { depth: 8, cap: 8 },
             },
@@ -551,6 +678,7 @@ mod tests {
             },
             Response::Trial(TrialUpdate {
                 job: 3,
+                seq: 9,
                 index: 1,
                 outcome: "completed".to_string(),
                 value: 42,
@@ -583,12 +711,36 @@ mod tests {
                 metrics_json: "{}".to_string(),
             }),
             Response::Draining { pending: 2 },
+            Response::Pong { nonce: 0x9e110 },
+            Response::Cancelled {
+                job: 6,
+                state: "running".to_string(),
+            },
+            Response::Resuming {
+                job: 6,
+                epoch: 1,
+                oldest: 4,
+            },
             Response::Error {
                 detail: "bad frame".to_string(),
             },
         ] {
             assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
         }
+    }
+
+    #[test]
+    fn submit_without_idem_decodes_with_key_zero() {
+        // Journal accept records written before idempotency keys existed
+        // have no "idem" field; they must keep replaying.
+        let legacy = format!(
+            "{{\"op\": \"submit\", \"tenant\": \"t\", {}}}",
+            spec().encode_fields()
+        );
+        let Request::Submit { idem, .. } = Request::decode(&legacy).unwrap() else {
+            panic!("submit expected");
+        };
+        assert_eq!(idem, 0);
     }
 
     #[test]
@@ -602,6 +754,12 @@ mod tests {
              \"seed\": 1, \"threads\": 1, \"deadline_steps\": 0, \"retry_budget\": 0, \
              \"flake_ppm\": 0}",
             "{\"re\": \"nothing\"}",
+            "{\"op\": \"ping\"}",
+            "{\"op\": \"cancel\"}",
+            "{\"op\": \"resume_stream\", \"job\": 1}",
+            "{\"re\": \"pong\"}",
+            "{\"re\": \"cancelled\", \"job\": 1}",
+            "{\"re\": \"resuming\", \"job\": 1, \"epoch\": 0}",
         ] {
             let req = Request::decode(bad);
             let resp = Response::decode(bad);

@@ -1,5 +1,6 @@
 //! The campaign server: admission control, a bounded job queue, a
-//! supervised worker pool, and journaled crash recovery.
+//! supervised worker pool, journaled crash recovery, and a
+//! chaos-hardened connection layer.
 //!
 //! Life of a job:
 //!
@@ -8,35 +9,56 @@
 //!    ⇒ typed reject; tenant over quota ⇒ typed reject; otherwise the
 //!    job id is assigned, the admission is **journaled and flushed**,
 //!    and only then does `Accepted` leave the server — a job the client
-//!    saw accepted is a job a `kill -9` cannot lose;
+//!    saw accepted is a job a `kill -9` cannot lose. A non-zero
+//!    idempotency key makes resubmission safe: the same `(tenant, key)`
+//!    returns the original job instead of admitting a duplicate;
 //! 2. a worker pops the job and runs it through
 //!    [`crate::job::run_job`] — checkpointed trials, watchdog deadlines,
-//!    exponential-backoff healing — streaming [`Response::Trial`] frames
-//!    back through the submitting connection;
-//! 3. the final [`Response::Done`] carries the job's report and digest;
-//!    the completion is journaled and the per-job checkpoint deleted.
+//!    exponential-backoff healing — publishing every [`Response::Trial`]
+//!    into the job's **outcome ring**, a bounded per-job buffer of
+//!    sequence-numbered updates. Connections (the submitter, and any
+//!    later `resume_stream`) subscribe to the ring: a client that lost
+//!    its connection reconnects and replays only what it has not seen;
+//! 3. the final [`Response::Done`] (or typed `Cancelled`/`Error`) is the
+//!    stream's cached terminal; the completion is journaled and the
+//!    per-job checkpoint deleted.
+//!
+//! The connection layer assumes a hostile network: per-connection read
+//! *and* write deadlines (a non-reading peer is dropped and counted, not
+//! allowed to wedge a writer), an idle deadline that reaps half-open
+//! connections (heartbeat pings keep a quiet client alive), wire-level
+//! job cancellation that reaches *inside* a running trial through the
+//! core's cooperative watchdog check, and a drain deadline that converts
+//! stragglers into typed cancellations instead of hanging shutdown.
 //!
 //! On restart the journal is replayed: accepted-but-unfinished jobs are
 //! re-queued (their checkpoints resume them mid-campaign), finished jobs
-//! keep answering status queries with their digests. Server lifecycle is
-//! observable: admissions, rejections, resumes, completions and torn
-//! journals all count in the nv-obs metrics served by `stats`.
+//! keep answering status queries with their digests, cancelled jobs stay
+//! cancelled, and idempotency keys keep deduplicating. Server lifecycle
+//! is observable: admissions, rejections, resumes, completions,
+//! cancellations, stream re-attachments, stalled writers and reaped
+//! connections all count in the nv-obs metrics served by `stats`.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::mpsc::{Receiver, Sender};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use nv_obs::{ObsEvent, Recorder};
 
-use crate::job::{run_job, JobSpec};
+use crate::job::{run_job, JobError, JobSpec};
 use crate::journal::JobJournal;
-use crate::proto::{JobReport, RejectReason, Request, Response, ServerStats};
+use crate::proto::{JobReport, RejectReason, Request, Response, ServerStats, TrialUpdate};
 use crate::wire::{is_protocol_violation, read_frame, write_frame, WireError};
+
+/// How long a blocked reader waits per poll before re-checking shutdown
+/// and the idle deadline.
+const READ_POLL: Duration = Duration::from_millis(200);
 
 /// Server tuning knobs.
 #[derive(Clone, Debug)]
@@ -52,6 +74,18 @@ pub struct ServerConfig {
     pub tenant_quota: usize,
     /// Directory for the journal and per-job checkpoints.
     pub spool: PathBuf,
+    /// Per-job outcome-ring capacity: the oldest buffered updates age
+    /// out beyond it, bounding memory against huge jobs. A resuming
+    /// client whose cursor predates the ring sees the gap in
+    /// [`Response::Resuming::oldest`].
+    pub ring_cap: usize,
+    /// Per-connection write deadline: a peer that stops reading long
+    /// enough to stall a response write this long is dropped (and
+    /// counted), never allowed to wedge a worker or connection thread.
+    pub write_timeout: Duration,
+    /// Per-connection idle deadline: a connection that sends no frame
+    /// (not even a ping) for this long between requests is reaped.
+    pub idle_timeout: Duration,
 }
 
 impl ServerConfig {
@@ -63,6 +97,9 @@ impl ServerConfig {
             queue_cap: 64,
             tenant_quota: 64,
             spool: spool.into(),
+            ring_cap: 4096,
+            write_timeout: Duration::from_secs(2),
+            idle_timeout: Duration::from_secs(60),
         }
     }
 }
@@ -76,6 +113,7 @@ enum JobState {
     // The detail is surfaced through the Debug impl (operator logs) and
     // the error frame already sent to the submitter.
     Failed(#[allow(dead_code)] String),
+    Cancelled,
 }
 
 #[derive(Default)]
@@ -90,7 +128,38 @@ struct QueuedJob {
     job: u64,
     tenant: String,
     spec: JobSpec,
-    updates: Option<Sender<Response>>,
+}
+
+/// One job's buffered outcome stream: sequence-numbered updates in a
+/// bounded ring, live subscribers, and the cached terminal response.
+struct JobStream {
+    ring: VecDeque<TrialUpdate>,
+    next_seq: u64,
+    terminal: Option<Response>,
+    subscribers: Vec<Sender<Response>>,
+}
+
+impl Default for JobStream {
+    fn default() -> JobStream {
+        JobStream {
+            ring: VecDeque::new(),
+            next_seq: 1,
+            terminal: None,
+            subscribers: Vec::new(),
+        }
+    }
+}
+
+/// What a connection got when it attached to a job's stream.
+struct Attached {
+    /// Buffered updates past the client's cursor, in sequence order.
+    replay: Vec<TrialUpdate>,
+    /// The cached terminal, if the job already ended.
+    terminal: Option<Response>,
+    /// Live subscription; present exactly when there is no terminal yet.
+    live: Option<Receiver<Response>>,
+    /// Oldest sequence number still buffered (0 = empty ring).
+    oldest: u64,
 }
 
 struct State {
@@ -98,6 +167,8 @@ struct State {
     tenants: HashMap<String, usize>,
     jobs: HashMap<u64, JobState>,
     done_digests: BTreeMap<u64, u64>,
+    idem_index: HashMap<(String, u64), u64>,
+    cancel_flags: HashMap<u64, Arc<AtomicBool>>,
     next_job: u64,
     running: usize,
     draining: bool,
@@ -109,10 +180,16 @@ struct State {
 struct Inner {
     config: ServerConfig,
     state: Mutex<State>,
+    // Lock order: `state` before `streams`; never take `state` while
+    // holding `streams`.
+    streams: Mutex<HashMap<u64, JobStream>>,
     work_ready: Condvar,
     idle: Condvar,
     journal: JobJournal,
     recorder: Mutex<Recorder>,
+    /// Boot epoch: journal boots including this life. Sequence numbers
+    /// are per-epoch; clients compare epochs across reconnects.
+    epoch: u64,
 }
 
 impl Inner {
@@ -127,14 +204,137 @@ impl Inner {
         self.config.spool.join(format!("job_{job}.ckpt"))
     }
 
-    /// Admission control. On success the job is journaled and queued and
-    /// the caller gets the update stream's receiving end.
+    /// Writes one response, converting a blown write deadline into a
+    /// counted, typed drop instead of a wedged thread.
+    fn send_response(&self, stream: &mut TcpStream, response: &Response) -> bool {
+        match write_frame(stream, &response.encode()) {
+            Ok(()) => true,
+            Err(err) => {
+                if matches!(
+                    err.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) {
+                    self.observe(ObsEvent::ConnWriteStalled {
+                        timeout_ms: self.config.write_timeout.as_millis() as u64,
+                    });
+                }
+                false
+            }
+        }
+    }
+
+    /// Appends one update to the job's ring (assigning its sequence
+    /// number) and fans it out to live subscribers.
+    fn publish_update(&self, job: u64, mut update: TrialUpdate) {
+        let mut streams = self.streams.lock().expect("stream registry poisoned");
+        let stream = streams.entry(job).or_default();
+        update.seq = stream.next_seq;
+        stream.next_seq += 1;
+        stream.ring.push_back(update.clone());
+        while stream.ring.len() > self.config.ring_cap {
+            stream.ring.pop_front();
+        }
+        stream
+            .subscribers
+            .retain(|tx| tx.send(Response::Trial(update.clone())).is_ok());
+    }
+
+    /// Caches the job's terminal response and delivers it to every live
+    /// subscriber, ending their streams.
+    fn publish_terminal(&self, job: u64, response: Response) {
+        let mut streams = self.streams.lock().expect("stream registry poisoned");
+        let stream = streams.entry(job).or_default();
+        stream.terminal = Some(response.clone());
+        for tx in stream.subscribers.drain(..) {
+            let _ = tx.send(response.clone());
+        }
+    }
+
+    /// Attaches to a job's stream at `cursor`: buffered updates past it,
+    /// the terminal if the job ended, a live subscription otherwise.
+    /// `None` when no stream exists for the job.
+    fn attach(&self, job: u64, cursor: u64) -> Option<Attached> {
+        let mut streams = self.streams.lock().expect("stream registry poisoned");
+        let stream = streams.get_mut(&job)?;
+        let replay: Vec<TrialUpdate> = stream
+            .ring
+            .iter()
+            .filter(|u| u.seq > cursor)
+            .cloned()
+            .collect();
+        let terminal = stream.terminal.clone();
+        let live = if terminal.is_none() {
+            let (tx, rx) = mpsc::channel();
+            stream.subscribers.push(tx);
+            Some(rx)
+        } else {
+            None
+        };
+        Some(Attached {
+            replay,
+            terminal,
+            live,
+            oldest: stream.ring.front().map_or(0, |u| u.seq),
+        })
+    }
+
+    /// Synthesizes a terminal-only stream for a job that ended in a
+    /// previous life (its ring died with that process): a digest-only
+    /// `Done` for journaled completions, a `Cancelled` for journaled
+    /// cancellations. `trials` is the caller's best knowledge of the job
+    /// size (0 when unknown); a digest-only report carries `passes: 0`
+    /// so clients can tell it from a live one.
+    fn ensure_offline_stream(&self, job: u64, trials: u64) {
+        let terminal = {
+            let state = self.state.lock().expect("server state poisoned");
+            if let Some(&digest) = state.done_digests.get(&job) {
+                Some(Response::Done(JobReport {
+                    job,
+                    trials,
+                    completed: 0,
+                    quarantined: 0,
+                    resumed_trials: 0,
+                    passes: 0,
+                    digest,
+                    metrics_json: "{}".to_string(),
+                }))
+            } else if matches!(state.jobs.get(&job), Some(JobState::Cancelled)) {
+                Some(Response::Cancelled {
+                    job,
+                    state: "cancelled".to_string(),
+                })
+            } else {
+                None
+            }
+        };
+        let Some(terminal) = terminal else { return };
+        let mut streams = self.streams.lock().expect("stream registry poisoned");
+        let stream = streams.entry(job).or_default();
+        if stream.terminal.is_none() && stream.ring.is_empty() {
+            stream.terminal = Some(terminal);
+        }
+    }
+
+    /// Admission control. On success the job is journaled, queued, and
+    /// has an (empty) outcome stream to attach to. A duplicate
+    /// idempotency key short-circuits to the original job — the spec on
+    /// the wire is ignored in favour of the one already admitted.
     fn admit(
         &self,
         tenant: &str,
         spec: JobSpec,
-    ) -> Result<Result<(u64, Receiver<Response>), RejectReason>, std::io::Error> {
+        idem: u64,
+    ) -> Result<Result<u64, RejectReason>, std::io::Error> {
         let mut state = self.state.lock().expect("server state poisoned");
+        if idem != 0 {
+            if let Some(&job) = state.idem_index.get(&(tenant.to_string(), idem)) {
+                drop(state);
+                // The original may predate this life; make sure its
+                // terminal is attachable before the client asks.
+                self.ensure_offline_stream(job, spec.trials as u64);
+                return Ok(Ok(job));
+            }
+        }
         if state.draining || state.shutdown {
             state.counters.rejected += 1;
             drop(state);
@@ -170,23 +370,101 @@ impl Inner {
         // Durable before visible: flush the admission record while still
         // holding the lock, so ids are journaled in order and a crash
         // between "accepted" and "queued" cannot happen.
-        self.journal.record_accept(job, tenant, &spec)?;
+        self.journal.record_accept(job, tenant, &spec, idem)?;
         state.next_job += 1;
+        if idem != 0 {
+            state.idem_index.insert((tenant.to_string(), idem), job);
+        }
         *state.tenants.entry(tenant.to_string()).or_insert(0) += 1;
-        let (tx, rx) = mpsc::channel();
         state.queue.push_back(QueuedJob {
             job,
             tenant: tenant.to_string(),
             spec,
-            updates: Some(tx),
         });
         state.peak_depth = state.peak_depth.max(state.queue.len());
         state.jobs.insert(job, JobState::Queued);
         state.counters.submitted += 1;
         drop(state);
+        self.streams
+            .lock()
+            .expect("stream registry poisoned")
+            .entry(job)
+            .or_default();
         self.observe(ObsEvent::JobAdmitted { job });
         self.work_ready.notify_one();
-        Ok(Ok((job, rx)))
+        Ok(Ok(job))
+    }
+
+    /// Executes a wire-level cancellation, returning the ack that tells
+    /// the client where the cancel landed.
+    fn cancel_job(&self, job: u64) -> Response {
+        let mut state = self.state.lock().expect("server state poisoned");
+        let landed = match state.jobs.get(&job) {
+            Some(JobState::Queued) => {
+                let mut tenant = None;
+                state.queue.retain(|q| {
+                    if q.job == job {
+                        tenant = Some(q.tenant.clone());
+                        false
+                    } else {
+                        true
+                    }
+                });
+                if let Some(tenant) = tenant {
+                    if let Some(active) = state.tenants.get_mut(&tenant) {
+                        *active = active.saturating_sub(1);
+                        if *active == 0 {
+                            state.tenants.remove(&tenant);
+                        }
+                    }
+                }
+                state.jobs.insert(job, JobState::Cancelled);
+                "queued"
+            }
+            Some(JobState::Running) => {
+                if let Some(flag) = state.cancel_flags.get(&job) {
+                    flag.store(true, Ordering::Relaxed);
+                }
+                "running"
+            }
+            Some(JobState::Done(_)) => "done",
+            Some(JobState::Failed(_)) => "failed",
+            Some(JobState::Cancelled) => "cancelled",
+            None => {
+                if state.done_digests.contains_key(&job) {
+                    "done"
+                } else {
+                    "unknown"
+                }
+            }
+        };
+        drop(state);
+        match landed {
+            "queued" => {
+                // Durable and terminal right here: the job will never
+                // run, in this life or any other.
+                let _ = self.journal.record_cancel(job);
+                self.observe(ObsEvent::JobCancelled { job });
+                self.publish_terminal(
+                    job,
+                    Response::Cancelled {
+                        job,
+                        state: "cancelled".to_string(),
+                    },
+                );
+                self.idle.notify_all();
+            }
+            "running" => {
+                // Durable now; the worker publishes the terminal when
+                // the trial's cooperative check observes the flag.
+                let _ = self.journal.record_cancel(job);
+            }
+            _ => {}
+        }
+        Response::Cancelled {
+            job,
+            state: landed.to_string(),
+        }
     }
 
     fn stats(&self) -> ServerStats {
@@ -216,6 +494,7 @@ impl Inner {
             Some(JobState::Running) => ("running", 0),
             Some(JobState::Done(report)) => ("done", report.digest),
             Some(JobState::Failed(_)) => ("failed", 0),
+            Some(JobState::Cancelled) => ("cancelled", 0),
             None => match state.done_digests.get(&job) {
                 Some(digest) => ("done", *digest),
                 None => ("unknown", 0),
@@ -230,7 +509,7 @@ impl Inner {
 
     fn worker_loop(&self) {
         loop {
-            let queued = {
+            let (queued, cancel_flag) = {
                 let mut state = self.state.lock().expect("server state poisoned");
                 loop {
                     if state.shutdown {
@@ -239,28 +518,19 @@ impl Inner {
                     if let Some(job) = state.queue.pop_front() {
                         state.running += 1;
                         state.jobs.insert(job.job, JobState::Running);
-                        break job;
+                        let flag = Arc::new(AtomicBool::new(false));
+                        state.cancel_flags.insert(job.job, Arc::clone(&flag));
+                        break (job, flag);
                     }
                     state = self.work_ready.wait(state).expect("server state poisoned");
                 }
             };
 
-            let QueuedJob {
-                job,
-                tenant,
-                spec,
-                updates,
-            } = queued;
+            let QueuedJob { job, tenant, spec } = queued;
             let path = self.checkpoint_path(job);
-            let updates = updates.map(Mutex::new);
             let result = catch_unwind(AssertUnwindSafe(|| {
-                run_job(job, &spec, &path, |update| {
-                    if let Some(tx) = &updates {
-                        let _ = tx
-                            .lock()
-                            .expect("update sender poisoned")
-                            .send(Response::Trial(update));
-                    }
+                run_job(job, &spec, &path, Some(&cancel_flag), |update| {
+                    self.publish_update(job, update);
                 })
             }));
 
@@ -282,6 +552,22 @@ impl Inner {
                     self.observe(ObsEvent::JobCompleted { job });
                     Response::Done(report)
                 }
+                Ok(Err(JobError::Cancelled)) => {
+                    // The checkpoint survives: completed trials stay
+                    // durable for an un-cancelled resubmission. The
+                    // cancel record is usually already journaled by the
+                    // cancel handler; writing it again is harmless and
+                    // covers the drain-deadline path.
+                    let _ = self.journal.record_cancel(job);
+                    let mut state = self.state.lock().expect("server state poisoned");
+                    state.jobs.insert(job, JobState::Cancelled);
+                    drop(state);
+                    self.observe(ObsEvent::JobCancelled { job });
+                    Response::Cancelled {
+                        job,
+                        state: "cancelled".to_string(),
+                    }
+                }
                 Ok(Err(err)) => {
                     let detail = format!("job {job} failed: {err}");
                     let mut state = self.state.lock().expect("server state poisoned");
@@ -297,14 +583,10 @@ impl Inner {
                     Response::Error { detail }
                 }
             };
-            if let Some(tx) = &updates {
-                let _ = tx
-                    .lock()
-                    .expect("update sender poisoned")
-                    .send(final_response);
-            }
+            self.publish_terminal(job, final_response);
 
             let mut state = self.state.lock().expect("server state poisoned");
+            state.cancel_flags.remove(&job);
             state.running -= 1;
             if let Some(active) = state.tenants.get_mut(&tenant) {
                 *active = active.saturating_sub(1);
@@ -322,10 +604,15 @@ impl Inner {
 
     fn handle_connection(&self, mut stream: TcpStream) {
         let _ = stream.set_nodelay(true);
-        let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+        let _ = stream.set_read_timeout(Some(READ_POLL));
+        let _ = stream.set_write_timeout(Some(self.config.write_timeout));
+        let mut idle = Duration::ZERO;
         loop {
             let payload = match read_frame(&mut stream) {
-                Ok(payload) => payload,
+                Ok(payload) => {
+                    idle = Duration::ZERO;
+                    payload
+                }
                 Err(WireError::Closed) => return,
                 Err(WireError::Io(kind))
                     if kind == std::io::ErrorKind::WouldBlock
@@ -334,17 +621,25 @@ impl Inner {
                     if self.state.lock().expect("server state poisoned").shutdown {
                         return;
                     }
+                    idle += READ_POLL;
+                    if idle >= self.config.idle_timeout {
+                        // Half-open or abandoned: no frame, not even a
+                        // ping, within the idle deadline.
+                        self.observe(ObsEvent::ConnIdleReaped {
+                            timeout_ms: self.config.idle_timeout.as_millis() as u64,
+                        });
+                        return;
+                    }
                     continue;
                 }
                 Err(err) => {
                     // Hostile or damaged peer: answer typed, then hang up.
                     if is_protocol_violation(&err) {
-                        let _ = write_frame(
+                        let _ = self.send_response(
                             &mut stream,
                             &Response::Error {
                                 detail: err.to_string(),
-                            }
-                            .encode(),
+                            },
                         );
                     }
                     return;
@@ -353,31 +648,38 @@ impl Inner {
             let request = match Request::decode(&payload) {
                 Ok(request) => request,
                 Err(err) => {
-                    let _ = write_frame(
+                    let _ = self.send_response(
                         &mut stream,
                         &Response::Error {
                             detail: err.to_string(),
-                        }
-                        .encode(),
+                        },
                     );
                     return;
                 }
             };
             let keep_going = match request {
-                Request::Submit { tenant, spec } => self.handle_submit(&mut stream, &tenant, spec),
-                Request::Status { job } => {
-                    write_frame(&mut stream, &self.status(job).encode()).is_ok()
+                Request::Submit { tenant, spec, idem } => {
+                    self.handle_submit(&mut stream, &tenant, spec, idem)
                 }
-                Request::Stats => {
-                    write_frame(&mut stream, &Response::Stats(self.stats()).encode()).is_ok()
-                }
+                Request::Status { job } => self.send_response(&mut stream, &self.status(job)),
+                Request::Stats => self.send_response(&mut stream, &Response::Stats(self.stats())),
                 Request::Drain => {
                     let pending = {
                         let mut state = self.state.lock().expect("server state poisoned");
                         state.draining = true;
                         (state.queue.len() + state.running) as u64
                     };
-                    write_frame(&mut stream, &Response::Draining { pending }.encode()).is_ok()
+                    self.send_response(&mut stream, &Response::Draining { pending })
+                }
+                Request::Ping { nonce } => {
+                    self.send_response(&mut stream, &Response::Pong { nonce })
+                }
+                Request::Cancel { job } => {
+                    let ack = self.cancel_job(job);
+                    self.send_response(&mut stream, &ack)
+                }
+                Request::ResumeStream { job, last_seen_seq } => {
+                    self.handle_resume(&mut stream, job, last_seen_seq)
                 }
             };
             if !keep_going {
@@ -386,61 +688,144 @@ impl Inner {
         }
     }
 
-    fn handle_submit(&self, stream: &mut TcpStream, tenant: &str, spec: JobSpec) -> bool {
-        match self.admit(tenant, spec) {
-            Ok(Ok((job, rx))) => {
-                if write_frame(stream, &Response::Accepted { job }.encode()).is_err() {
+    fn handle_submit(
+        &self,
+        stream: &mut TcpStream,
+        tenant: &str,
+        spec: JobSpec,
+        idem: u64,
+    ) -> bool {
+        match self.admit(tenant, spec, idem) {
+            Ok(Ok(job)) => {
+                if !self.send_response(
+                    stream,
+                    &Response::Accepted {
+                        job,
+                        epoch: self.epoch,
+                    },
+                ) {
                     return false;
                 }
-                // Forward the update stream until the job's last word.
-                loop {
-                    match rx.recv() {
-                        Ok(response) => {
-                            let last =
-                                matches!(response, Response::Done(_) | Response::Error { .. });
-                            if write_frame(stream, &response.encode()).is_err() {
-                                // Client gone; the job keeps running and
-                                // stays queryable via `status`.
-                                return false;
-                            }
-                            if last {
-                                return true;
-                            }
-                        }
-                        Err(_) => {
-                            // Workers are gone (shutdown with the job
-                            // still queued); the journal will resume it.
-                            let _ = write_frame(
-                                stream,
-                                &Response::Error {
-                                    detail: format!(
-                                        "job {job} interrupted by shutdown; it will resume on restart"
-                                    ),
-                                }
-                                .encode(),
-                            );
-                            return false;
-                        }
-                    }
-                }
+                self.pump_stream(stream, job, 0)
             }
-            Ok(Err(reason)) => write_frame(stream, &Response::Rejected { reason }.encode()).is_ok(),
+            Ok(Err(reason)) => self.send_response(stream, &Response::Rejected { reason }),
             Err(err) => {
-                let _ = write_frame(
+                let _ = self.send_response(
                     stream,
                     &Response::Error {
                         detail: format!("admission journaling failed: {err}"),
-                    }
-                    .encode(),
+                    },
                 );
                 false
+            }
+        }
+    }
+
+    fn handle_resume(&self, stream: &mut TcpStream, job: u64, last_seen_seq: u64) -> bool {
+        // Jobs that ended in a previous life have no ring; give them a
+        // terminal-only stream before attaching.
+        self.ensure_offline_stream(job, 0);
+        let Some(attached) = self.attach(job, last_seen_seq) else {
+            return self.send_response(
+                stream,
+                &Response::Error {
+                    detail: format!("unknown job {job}"),
+                },
+            );
+        };
+        self.observe(ObsEvent::StreamResumed {
+            job,
+            from_seq: last_seen_seq,
+        });
+        if !self.send_response(
+            stream,
+            &Response::Resuming {
+                job,
+                epoch: self.epoch,
+                oldest: attached.oldest,
+            },
+        ) {
+            return false;
+        }
+        self.pump_attached(stream, job, attached)
+    }
+
+    /// Attaches at `cursor` and forwards the job's stream to its end.
+    fn pump_stream(&self, stream: &mut TcpStream, job: u64, cursor: u64) -> bool {
+        let Some(attached) = self.attach(job, cursor) else {
+            return self.send_response(
+                stream,
+                &Response::Error {
+                    detail: format!("unknown job {job}"),
+                },
+            );
+        };
+        self.pump_attached(stream, job, attached)
+    }
+
+    /// Replays buffered updates, then follows the live subscription (or
+    /// the cached terminal) until the job's last word.
+    fn pump_attached(&self, stream: &mut TcpStream, job: u64, attached: Attached) -> bool {
+        for update in attached.replay {
+            if !self.send_response(stream, &Response::Trial(update)) {
+                return false;
+            }
+        }
+        if let Some(terminal) = attached.terminal {
+            return self.send_response(stream, &terminal);
+        }
+        let rx = attached
+            .live
+            .expect("attach without terminal must subscribe");
+        loop {
+            match rx.recv_timeout(READ_POLL) {
+                Ok(response) => {
+                    let last = matches!(
+                        response,
+                        Response::Done(_) | Response::Error { .. } | Response::Cancelled { .. }
+                    );
+                    if !self.send_response(stream, &response) {
+                        // Client gone; the job keeps running and stays
+                        // resumable via `resume_stream`.
+                        return false;
+                    }
+                    if last {
+                        return true;
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if self.state.lock().expect("server state poisoned").shutdown {
+                        let _ = self.send_response(
+                            stream,
+                            &Response::Error {
+                                detail: format!(
+                                    "job {job} interrupted by shutdown; it will resume on restart"
+                                ),
+                            },
+                        );
+                        return false;
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    // Shutdown cleared the subscribers (the job was still
+                    // queued); the journal will resume it.
+                    let _ = self.send_response(
+                        stream,
+                        &Response::Error {
+                            detail: format!(
+                                "job {job} interrupted by shutdown; it will resume on restart"
+                            ),
+                        },
+                    );
+                    return false;
+                }
             }
         }
     }
 }
 
 /// A running campaign server. Dropping it does *not* stop the threads;
-/// call [`Server::shutdown`].
+/// call [`Server::shutdown`] (or [`Server::shutdown_with_deadline`]).
 pub struct Server {
     inner: Arc<Inner>,
     local_addr: SocketAddr,
@@ -450,8 +835,9 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds, replays the journal (re-queuing in-flight jobs), and
-    /// spawns the acceptor and worker pool.
+    /// Binds, replays the journal (re-queuing in-flight jobs), appends a
+    /// boot record (advancing the epoch), and spawns the acceptor and
+    /// worker pool.
     ///
     /// # Errors
     ///
@@ -461,6 +847,8 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         let (journal, replay) = JobJournal::open(config.spool.join("jobs.jsonl"))?;
+        journal.record_boot()?;
+        let epoch = replay.boots + 1;
 
         let workers = if config.workers == 0 {
             std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
@@ -473,6 +861,12 @@ impl Server {
             tenants: HashMap::new(),
             jobs: HashMap::new(),
             done_digests: replay.done.clone(),
+            idem_index: replay
+                .idem
+                .iter()
+                .map(|((tenant, key), job)| ((tenant.clone(), *key), *job))
+                .collect(),
+            cancel_flags: HashMap::new(),
             next_job: replay.next_job,
             running: 0,
             draining: false,
@@ -480,6 +874,9 @@ impl Server {
             peak_depth: 0,
             counters: Counters::default(),
         };
+        for &job in &replay.cancelled {
+            state.jobs.insert(job, JobState::Cancelled);
+        }
         // Re-queue every in-flight job from the journal. Resumed jobs
         // bypass the admission cap: they hold an admission from a
         // previous life, and refusing them would strand their journal
@@ -491,7 +888,6 @@ impl Server {
                 job: pending.job,
                 tenant: pending.tenant.clone(),
                 spec: pending.spec,
-                updates: None,
             });
             state.counters.resumed += 1;
         }
@@ -500,16 +896,24 @@ impl Server {
         let inner = Arc::new(Inner {
             config,
             state: Mutex::new(state),
+            streams: Mutex::new(HashMap::new()),
             work_ready: Condvar::new(),
             idle: Condvar::new(),
             journal,
             recorder: Mutex::new(Recorder::new(1024)),
+            epoch,
         });
         if replay.dropped_records > 0 {
             inner.observe(ObsEvent::CheckpointTorn {
                 records: replay.dropped_records as u64,
                 bytes: replay.dropped_bytes,
             });
+        }
+        {
+            let mut streams = inner.streams.lock().expect("stream registry poisoned");
+            for pending in &replay.pending {
+                streams.entry(pending.job).or_default();
+            }
         }
         for pending in &replay.pending {
             inner.observe(ObsEvent::JobResumed { job: pending.job });
@@ -564,6 +968,12 @@ impl Server {
         self.local_addr
     }
 
+    /// The server's boot epoch (count of journal boots including this
+    /// life).
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch
+    }
+
     /// Jobs currently queued or running.
     pub fn pending_jobs(&self) -> usize {
         let state = self.inner.state.lock().expect("server state poisoned");
@@ -594,13 +1004,79 @@ impl Server {
     /// resumes them), finishes jobs already running, and joins every
     /// thread.
     pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    /// Graceful drain with a deadline: stops admitting, waits up to
+    /// `deadline` for in-flight work to finish, then **cancels** the
+    /// stragglers — queued jobs become terminal `Cancelled` immediately,
+    /// running jobs have their flags raised and end at their next
+    /// cooperative check — instead of hanging shutdown on them. Returns
+    /// whether the drain was clean (nothing had to be cancelled).
+    pub fn shutdown_with_deadline(mut self, deadline: Duration) -> bool {
+        {
+            let mut state = self.inner.state.lock().expect("server state poisoned");
+            state.draining = true;
+        }
+        let clean = self.wait_idle(deadline);
+        if !clean {
+            let (cancelled_queued, flags) = {
+                let mut state = self.inner.state.lock().expect("server state poisoned");
+                let queued: Vec<(u64, String)> =
+                    state.queue.drain(..).map(|q| (q.job, q.tenant)).collect();
+                for (job, tenant) in &queued {
+                    state.jobs.insert(*job, JobState::Cancelled);
+                    if let Some(active) = state.tenants.get_mut(tenant) {
+                        *active = active.saturating_sub(1);
+                        if *active == 0 {
+                            state.tenants.remove(tenant);
+                        }
+                    }
+                }
+                let flags: Vec<Arc<AtomicBool>> =
+                    state.cancel_flags.values().map(Arc::clone).collect();
+                (queued, flags)
+            };
+            for (job, _) in &cancelled_queued {
+                let _ = self.inner.journal.record_cancel(*job);
+                self.inner.observe(ObsEvent::JobCancelled { job: *job });
+                self.inner.publish_terminal(
+                    *job,
+                    Response::Cancelled {
+                        job: *job,
+                        state: "cancelled".to_string(),
+                    },
+                );
+            }
+            for flag in flags {
+                flag.store(true, Ordering::Relaxed);
+            }
+            // Running trials observe their flags at the next cooperative
+            // watchdog check; give them a moment to become typed
+            // cancellations rather than join-hangs.
+            let _ = self.wait_idle(Duration::from_secs(30));
+        }
+        self.stop_and_join();
+        clean
+    }
+
+    fn stop_and_join(&mut self) {
         {
             let mut state = self.inner.state.lock().expect("server state poisoned");
             state.shutdown = true;
-            // Dropping queued jobs drops their update senders, which
-            // unblocks their submit connections with a typed error; the
-            // journal still holds their admissions for the next start.
+            // Queued jobs go back to the journal: the next start resumes
+            // them. Their subscribers are unblocked below.
             state.queue.clear();
+        }
+        {
+            // Unblock connections pumping streams that will never end in
+            // this life (their jobs were still queued).
+            let mut streams = self.inner.streams.lock().expect("stream registry poisoned");
+            for stream in streams.values_mut() {
+                if stream.terminal.is_none() {
+                    stream.subscribers.clear();
+                }
+            }
         }
         self.inner.work_ready.notify_all();
         // Unblock the acceptor with a throwaway connection.

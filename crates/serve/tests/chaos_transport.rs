@@ -1,0 +1,178 @@
+//! The chaos proxy in anger: transparent when quiet, deterministic
+//! when faulty, and — the tentpole property — a resilient client
+//! pushed through heavy chaos still lands the exact digest an
+//! unbroken connection produces.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+use nv_serve::wire::encode_frame;
+use nv_serve::{
+    submit_resilient, ChaosPlan, ChaosProxy, Client, FaultCounts, JobSpec, ResilientOutcome,
+    RetryPolicy, Server, ServerConfig,
+};
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("nv_serve_chaos_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&path);
+    path
+}
+
+fn small_job(trials: usize, seed: u64) -> JobSpec {
+    let mut spec = JobSpec::nv_core(trials, seed);
+    spec.threads = 1;
+    spec
+}
+
+#[test]
+fn quiet_proxy_is_byte_transparent() {
+    let spool = scratch_dir("quiet");
+    let server = Server::start(ServerConfig::new(&spool)).unwrap();
+    let spec = small_job(4, 0xc1ea2);
+
+    // Direct baseline.
+    let mut direct = Client::connect(server.addr()).unwrap();
+    let baseline = direct
+        .submit_and_wait("acme", &spec)
+        .unwrap()
+        .expect("direct submit");
+
+    // Same spec through a quiet proxy: identical digest and trial count.
+    let proxy = ChaosProxy::start(server.addr(), ChaosPlan::quiet(0x9e7)).unwrap();
+    let mut proxied = Client::connect(proxy.addr()).unwrap();
+    let through = proxied
+        .submit_and_wait("acme", &spec)
+        .unwrap()
+        .expect("proxied submit");
+    assert_eq!(through.report.digest, baseline.report.digest);
+    assert_eq!(through.updates.len(), baseline.updates.len());
+
+    let faults = proxy.faults();
+    assert!(faults.connections >= 1);
+    assert_eq!(
+        faults,
+        FaultCounts {
+            connections: faults.connections,
+            ..FaultCounts::default()
+        },
+        "a quiet plan must inject nothing"
+    );
+
+    drop(proxied);
+    proxy.shutdown();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&spool);
+}
+
+/// Pushes one fixed 40-frame workload through a proxy into a sink,
+/// returning exactly what the sink received plus the fault counts. The
+/// plan disables connection resets so the idle server→client direction
+/// injects nothing; every other fault fires at full intensity.
+fn sink_workload(seed: u64) -> (Vec<u8>, FaultCounts) {
+    let sink = TcpListener::bind("127.0.0.1:0").unwrap();
+    let sink_addr = sink.local_addr().unwrap();
+    let collector = std::thread::spawn(move || {
+        let (mut conn, _) = sink.accept().expect("sink accept");
+        let mut got = Vec::new();
+        let mut buf = [0u8; 4096];
+        loop {
+            match conn.read(&mut buf) {
+                Ok(0) | Err(_) => return got,
+                Ok(n) => got.extend_from_slice(&buf[..n]),
+            }
+        }
+    });
+
+    let mut plan = ChaosPlan::at_intensity(seed, 1.0);
+    plan.reset_on_accept = 0.0;
+    plan.stall_ms = 1;
+    let proxy = ChaosProxy::start(sink_addr, plan).unwrap();
+    let mut client = TcpStream::connect(proxy.addr()).unwrap();
+    for i in 0..40u32 {
+        let frame = encode_frame(&format!("{{\"probe\": {i}}}"));
+        // After a mid-frame cut the proxy severs and later writes fail;
+        // that is part of the scripted run, not an error.
+        if client.write_all(&frame).is_err() {
+            break;
+        }
+    }
+    let _ = client.shutdown(std::net::Shutdown::Write);
+    let got = collector.join().expect("sink thread");
+    let faults = proxy.faults();
+    proxy.shutdown();
+    (got, faults)
+}
+
+#[test]
+fn same_seed_injects_the_same_faults_on_the_same_traffic() {
+    let (bytes_a, faults_a) = sink_workload(0x5eed_cafe);
+    let (bytes_b, faults_b) = sink_workload(0x5eed_cafe);
+    assert_eq!(
+        bytes_a, bytes_b,
+        "one seed, one workload: the surviving byte stream must replay exactly"
+    );
+    assert_eq!(faults_a, faults_b, "and so must the injected fault counts");
+    assert!(
+        faults_a.cuts
+            + faults_a.corruptions
+            + faults_a.partial_writes
+            + faults_a.duplicates
+            + faults_a.stalls
+            > 0,
+        "full intensity over 40 frames must actually inject something: {faults_a:?}"
+    );
+
+    let (bytes_c, _) = sink_workload(0x0dd_5eed);
+    // Different seeds *may* coincide, but for these two they do not —
+    // pinning that the seed actually steers the schedule.
+    assert_ne!(bytes_a, bytes_c, "a different seed must steer differently");
+}
+
+#[test]
+fn resilient_client_lands_the_exact_digest_through_heavy_chaos() {
+    let spool = scratch_dir("heavy");
+    let mut config = ServerConfig::new(&spool);
+    config.workers = 2;
+    let server = Server::start(config).unwrap();
+    let spec = small_job(8, 0xb1a57);
+
+    // Unbroken-connection baseline.
+    let mut direct = Client::connect(server.addr()).unwrap();
+    let baseline = direct
+        .submit_and_wait("acme", &spec)
+        .unwrap()
+        .expect("direct submit");
+
+    let proxy = ChaosProxy::start(server.addr(), ChaosPlan::at_intensity(0xbadda7, 0.9)).unwrap();
+    let policy = RetryPolicy {
+        max_failures: 64,
+        base_backoff: Duration::from_millis(5),
+        max_backoff: Duration::from_millis(100),
+        connect_timeout: Duration::from_secs(2),
+    };
+    let outcome = submit_resilient(proxy.addr(), "acme", &spec, 0xc4a05, &policy)
+        .expect("the resilient driver must outlast the chaos");
+    let ResilientOutcome::Done(finished) = outcome else {
+        panic!("expected a finished job, got {outcome:?}");
+    };
+    assert_eq!(
+        finished.report.digest, baseline.report.digest,
+        "digest through heavy chaos must be byte-identical to the quiet run"
+    );
+    // Census: exactly one update per trial index, however many
+    // reconnects it took to collect them.
+    let mut indexes: Vec<u64> = finished.updates.iter().map(|u| u.index).collect();
+    indexes.sort_unstable();
+    assert_eq!(
+        indexes,
+        (0..spec.trials as u64).collect::<Vec<u64>>(),
+        "no lost and no duplicated trial outcomes"
+    );
+
+    proxy.shutdown();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&spool);
+}

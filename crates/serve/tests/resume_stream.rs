@@ -1,0 +1,305 @@
+//! Session-resume and cancellation semantics against a live server:
+//! every prefix of an update stream can be resumed from exactly, with
+//! no duplicates and byte-identical frames; idempotency keys attach
+//! instead of duplicating; epochs advance across restarts; wire-level
+//! cancel lands as a typed terminal.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use nv_serve::proto::Response;
+use nv_serve::{Client, JobSpec, Server, ServerConfig, Submission};
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("nv_serve_resume_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&path);
+    path
+}
+
+fn small_job(trials: usize, seed: u64) -> JobSpec {
+    let mut spec = JobSpec::nv_core(trials, seed);
+    spec.threads = 1;
+    spec
+}
+
+/// Drains a stream to its `Done`, returning the byte-encoded `Trial`
+/// frames in arrival order, their sequence numbers, and the digest.
+fn drain_to_done(client: &mut Client) -> (Vec<String>, Vec<u64>, u64) {
+    let mut frames = Vec::new();
+    let mut seqs = Vec::new();
+    loop {
+        match client.next_update().expect("stream frame") {
+            Response::Trial(update) => {
+                seqs.push(update.seq);
+                frames.push(Response::Trial(update).encode());
+            }
+            Response::Done(report) => return (frames, seqs, report.digest),
+            other => panic!("unexpected stream frame {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn every_prefix_resumes_byte_identical_and_duplicate_free() {
+    const TRIALS: usize = 6;
+    for &workers in &[1usize, 2, 8] {
+        let spool = scratch_dir(&format!("sweep_w{workers}"));
+        let mut config = ServerConfig::new(&spool);
+        config.workers = workers;
+        let server = Server::start(config).unwrap();
+        let addr = server.addr();
+
+        // One job per worker, submitted concurrently so publishes from
+        // several workers interleave in the stream registry.
+        let jobs: Vec<(u64, Vec<String>, u64)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|i| {
+                    scope.spawn(move || {
+                        let mut client = Client::connect(addr).unwrap();
+                        let spec = small_job(TRIALS, 0x5eed ^ i as u64);
+                        let finished = client
+                            .submit_and_wait("acme", &spec)
+                            .unwrap()
+                            .expect("idle server must admit");
+                        let frames: Vec<String> = finished
+                            .updates
+                            .iter()
+                            .map(|u| Response::Trial(u.clone()).encode())
+                            .collect();
+                        (finished.report.job, frames, finished.report.digest)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        for (job, baseline_frames, digest) in &jobs {
+            assert_eq!(baseline_frames.len(), TRIALS);
+            // Kill-and-resume after every prefix: a client that saw the
+            // first `cursor` updates reconnects and must receive exactly
+            // the rest, byte-identical, in order, once.
+            for cursor in 0..=TRIALS as u64 {
+                let mut client = Client::connect(addr).unwrap();
+                let (epoch, oldest) = client.resume_stream(*job, cursor).unwrap();
+                assert_eq!(epoch, server.epoch());
+                assert_eq!(oldest, 1, "nothing aged out of a {TRIALS}-update ring");
+                let (frames, seqs, resumed_digest) = drain_to_done(&mut client);
+                assert_eq!(
+                    frames,
+                    baseline_frames[cursor as usize..],
+                    "workers={workers} job={job} cursor={cursor}: replay must be \
+                     byte-identical to the unbroken stream's suffix"
+                );
+                let expected: Vec<u64> = (cursor + 1..=TRIALS as u64).collect();
+                assert_eq!(
+                    seqs, expected,
+                    "workers={workers} job={job} cursor={cursor}: sequence numbers \
+                     must be gapless and duplicate-free"
+                );
+                assert_eq!(resumed_digest, *digest);
+            }
+        }
+
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&spool);
+    }
+}
+
+#[test]
+fn idempotency_key_attaches_to_the_original_job() {
+    let spool = scratch_dir("idem");
+    let server = Server::start(ServerConfig::new(&spool)).unwrap();
+    let spec = small_job(4, 0xd00d);
+    const KEY: u64 = 0x1de4_7057;
+
+    let mut first = Client::connect(server.addr()).unwrap();
+    let Submission::Accepted { job, .. } = first.submit_idem("acme", &spec, KEY).unwrap() else {
+        panic!("must admit");
+    };
+    let (_, _, digest) = drain_to_done(&mut first);
+
+    // Resubmitting the same (tenant, key) — even with the job long done —
+    // attaches to the original: same id, full replay, same digest, and
+    // no second admission in the counters.
+    let mut second = Client::connect(server.addr()).unwrap();
+    let Submission::Accepted { job: again, .. } = second.submit_idem("acme", &spec, KEY).unwrap()
+    else {
+        panic!("duplicate key must still answer accepted");
+    };
+    assert_eq!(again, job);
+    let (frames, _, replay_digest) = drain_to_done(&mut second);
+    assert_eq!(frames.len(), 4, "full stream replays to the duplicate");
+    assert_eq!(replay_digest, digest);
+
+    // A different tenant with the same key is a different job.
+    let mut other = Client::connect(server.addr()).unwrap();
+    let Submission::Accepted { job: theirs, .. } = other.submit_idem("rival", &spec, KEY).unwrap()
+    else {
+        panic!("other tenant must admit");
+    };
+    assert_ne!(theirs, job, "idempotency keys are scoped per tenant");
+
+    let mut stats_client = Client::connect(server.addr()).unwrap();
+    let stats = stats_client.stats().unwrap();
+    assert_eq!(
+        stats.submitted, 2,
+        "the duplicate must not count as an admission"
+    );
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&spool);
+}
+
+#[test]
+fn restart_advances_the_epoch_and_serves_terminal_only_resume() {
+    let spool = scratch_dir("epoch");
+    let spec = small_job(4, 0xca11);
+    const KEY: u64 = 0xfeed_f00d;
+
+    let (job, digest, first_epoch) = {
+        let server = Server::start(ServerConfig::new(&spool)).unwrap();
+        let epoch = server.epoch();
+        let mut client = Client::connect(server.addr()).unwrap();
+        let Submission::Accepted {
+            job,
+            epoch: wire_epoch,
+        } = client.submit_idem("acme", &spec, KEY).unwrap()
+        else {
+            panic!("must admit");
+        };
+        assert_eq!(wire_epoch, epoch, "accepted frame carries the boot epoch");
+        let (_, _, digest) = drain_to_done(&mut client);
+        server.shutdown();
+        (job, digest, epoch)
+    };
+
+    let server = Server::start(ServerConfig::new(&spool)).unwrap();
+    assert_eq!(
+        server.epoch(),
+        first_epoch + 1,
+        "every boot advances the epoch"
+    );
+
+    // The ring died with the old process; resume still works, degrading
+    // to the journaled terminal (digest-only report).
+    let mut client = Client::connect(server.addr()).unwrap();
+    let (epoch, oldest) = client.resume_stream(job, 3).unwrap();
+    assert_eq!(epoch, first_epoch + 1);
+    assert_eq!(oldest, 0, "no updates are buffered for a previous-life job");
+    match client.next_update().unwrap() {
+        Response::Done(report) => {
+            assert_eq!(report.digest, digest);
+            assert_eq!(
+                report.passes, 0,
+                "digest-only reports are marked by passes=0"
+            );
+        }
+        other => panic!("expected the journaled terminal, got {other:?}"),
+    }
+
+    // The idempotency index also survives the restart.
+    let mut dup = Client::connect(server.addr()).unwrap();
+    let Submission::Accepted { job: again, .. } = dup.submit_idem("acme", &spec, KEY).unwrap()
+    else {
+        panic!("duplicate key must answer accepted across restarts");
+    };
+    assert_eq!(again, job);
+    match dup.next_update().unwrap() {
+        Response::Done(report) => assert_eq!(report.digest, digest),
+        other => panic!("expected the journaled terminal, got {other:?}"),
+    }
+    let stats = dup.stats().unwrap();
+    assert_eq!(
+        stats.submitted, 0,
+        "nothing was newly admitted in this life"
+    );
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&spool);
+}
+
+#[test]
+fn wire_cancel_lands_as_a_typed_terminal_and_survives_restart() {
+    let spool = scratch_dir("cancel");
+    let mut config = ServerConfig::new(&spool);
+    config.workers = 1;
+    let server = Server::start(config).unwrap();
+
+    // A long job to cancel mid-run, and a queued one behind it.
+    let mut running_client = Client::connect(server.addr()).unwrap();
+    let Submission::Accepted {
+        job: running_job, ..
+    } = running_client
+        .submit("acme", &small_job(4000, 0x4104))
+        .unwrap()
+    else {
+        panic!("must admit the long job");
+    };
+    let mut queued_client = Client::connect(server.addr()).unwrap();
+    let Submission::Accepted {
+        job: queued_job, ..
+    } = queued_client
+        .submit("acme", &small_job(4, 0x0_fa57))
+        .unwrap()
+    else {
+        panic!("must admit the queued job");
+    };
+
+    let mut ops = Client::connect(server.addr()).unwrap();
+
+    // Cancel the queued job: terminal immediately, it never runs.
+    assert_eq!(ops.cancel(queued_job).unwrap(), "queued");
+    loop {
+        match queued_client.next_update().unwrap() {
+            Response::Cancelled { job, state } => {
+                assert_eq!((job, state.as_str()), (queued_job, "cancelled"));
+                break;
+            }
+            Response::Trial(_) => {}
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+    assert_eq!(ops.status(queued_job).unwrap().0, "cancelled");
+
+    // Cancel the running job: the flag reaches inside the trial loop and
+    // the stream ends with the typed terminal, not a hang.
+    let ack = ops.cancel(running_job).unwrap();
+    assert!(
+        ack == "running" || ack == "queued" || ack == "done",
+        "unexpected cancel ack {ack:?}"
+    );
+    if ack != "done" {
+        loop {
+            match running_client.next_update().unwrap() {
+                Response::Cancelled { job, state } => {
+                    assert_eq!((job, state.as_str()), (running_job, "cancelled"));
+                    break;
+                }
+                Response::Trial(_) => {}
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+        assert_eq!(ops.status(running_job).unwrap().0, "cancelled");
+    }
+
+    // Cancelling the already-over is an informative no-op, typed.
+    assert_eq!(ops.cancel(queued_job).unwrap(), "cancelled");
+    assert_eq!(ops.cancel(0xdead).unwrap(), "unknown");
+
+    assert!(server.wait_idle(Duration::from_secs(60)));
+    server.shutdown();
+
+    // Cancelled is durable: a restart does not resurrect either job.
+    let server = Server::start(ServerConfig::new(&spool)).unwrap();
+    assert_eq!(
+        server.pending_jobs(),
+        0,
+        "cancel records must keep jobs out of the queue"
+    );
+    let mut client = Client::connect(server.addr()).unwrap();
+    assert_eq!(client.status(queued_job).unwrap().0, "cancelled");
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&spool);
+}

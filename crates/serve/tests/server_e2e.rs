@@ -69,7 +69,7 @@ fn overload_is_rejected_typed_and_census_balances() {
     for i in 0..12u64 {
         let mut client = Client::connect(server.addr()).unwrap();
         match client.submit("acme", &small_job(0x1000 + i)).unwrap() {
-            Submission::Accepted { job } => {
+            Submission::Accepted { job, .. } => {
                 accepted.push(job);
                 clients.push(client);
             }
@@ -257,7 +257,7 @@ fn shutdown_with_queued_jobs_resumes_byte_identical_on_restart() {
         for spec in &specs {
             let mut client = Client::connect(server.addr()).unwrap();
             match client.submit("acme", spec).unwrap() {
-                Submission::Accepted { job } => ids.push(job),
+                Submission::Accepted { job, .. } => ids.push(job),
                 other => panic!("must admit, got {other:?}"),
             }
             clients.push(client);

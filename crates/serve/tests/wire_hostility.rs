@@ -14,18 +14,49 @@ use nv_serve::JobSpec;
 
 const ROUNDS: usize = 400;
 
-/// A pool of well-formed payloads to mutate, spanning the real protocol.
+/// A pool of well-formed payloads to mutate, spanning the real protocol
+/// — including the chaos-era frames (heartbeats, cancellation, stream
+/// resume, sequence-numbered trial updates).
 fn corpus() -> Vec<String> {
     vec![
         Request::Submit {
             tenant: "acme".to_string(),
             spec: JobSpec::nv_core(16, 0xfeed),
+            idem: 0x1de4,
         }
         .encode(),
         Request::Status { job: 42 }.encode(),
         Request::Stats.encode(),
         Request::Drain.encode(),
-        Response::Accepted { job: 7 }.encode(),
+        Request::Ping { nonce: 0xabad1dea }.encode(),
+        Request::Cancel { job: 42 }.encode(),
+        Request::ResumeStream {
+            job: 42,
+            last_seen_seq: 17,
+        }
+        .encode(),
+        Response::Accepted { job: 7, epoch: 3 }.encode(),
+        Response::Pong { nonce: 0xabad1dea }.encode(),
+        Response::Cancelled {
+            job: 7,
+            state: "running".to_string(),
+        }
+        .encode(),
+        Response::Resuming {
+            job: 7,
+            epoch: 3,
+            oldest: 11,
+        }
+        .encode(),
+        Response::Trial(nv_serve::TrialUpdate {
+            job: 7,
+            seq: 12,
+            index: 11,
+            outcome: "completed".to_string(),
+            value: 0x51,
+            resumed: false,
+        })
+        .encode(),
         "{}".to_string(),
         String::new(),
         "x".repeat(512),

@@ -259,6 +259,13 @@ pub struct Core {
     /// retirement steps have elapsed since arming, and cooperative callers
     /// (the attack layers' run loops) convert expiry into a typed error.
     watchdog: Option<WatchdogState>,
+    /// External cancellation flag; `None` (the default) means the core is
+    /// not cancellable. Like the watchdog, the flag never alters execution
+    /// itself — cooperative callers poll [`Core::cancel_requested`] at the
+    /// same sites they poll the watchdog and convert a raised flag into a
+    /// typed error. The server's wire-level `Cancel` sets it from another
+    /// thread, which is why it is an `Arc<AtomicBool>` and not a bool.
+    cancel: Option<Arc<std::sync::atomic::AtomicBool>>,
 }
 
 /// Armed watchdog bookkeeping: consumption is derived from the step
@@ -286,6 +293,7 @@ impl Core {
             perturb: PerturbState::from_config(config.perturbation),
             obs: None,
             watchdog: None,
+            cancel: None,
         }
     }
 
@@ -319,6 +327,28 @@ impl Core {
     /// disarmed, so unsupervised paths behave exactly as before.
     pub fn watchdog_expired(&self) -> bool {
         matches!(self.watchdog(), Some((consumed, limit)) if consumed >= limit)
+    }
+
+    /// Attaches an external cancellation flag. The owner (e.g. the
+    /// campaign server's connection handler) raises the flag from another
+    /// thread; cooperative run loops observe it via
+    /// [`Core::cancel_requested`] at their watchdog polling sites.
+    pub fn set_cancel_flag(&mut self, flag: Arc<std::sync::atomic::AtomicBool>) {
+        self.cancel = Some(flag);
+    }
+
+    /// Detaches the cancellation flag; the core stops being cancellable.
+    pub fn clear_cancel_flag(&mut self) {
+        self.cancel = None;
+    }
+
+    /// Whether an attached cancellation flag has been raised. Always
+    /// `false` when no flag is attached, so uncancellable runs behave
+    /// exactly as before.
+    pub fn cancel_requested(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|flag| flag.load(std::sync::atomic::Ordering::Relaxed))
     }
 
     /// Reconfigures fault injection in place, restarting the injector's
